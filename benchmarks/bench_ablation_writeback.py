@@ -1,0 +1,91 @@
+"""Ablation A2 — write-back vs write-through commit.
+
+The paper's write-back commit "communicates addresses, but not data,
+between nodes and directories" (Section 1): the commit critical path
+carries Mark messages with line addresses and word flags; the data moves
+lazily, as write-back-class traffic, on true sharing, eviction, or
+re-speculation.  This ablation writes full cache lines and compares the
+two policies' *commit-class* bytes — the traffic that sits on the commit
+critical path and in the directory's serialization window.
+"""
+
+from repro import ScalableTCCSystem, SystemConfig, Transaction
+from repro.analysis import format_table
+from repro.workloads.base import Workload
+
+N = 16
+TX_PER_PROC = 10
+LINES_PER_TX = 8
+LINE_SIZE = 32
+WORDS = 8
+
+
+class FullLineWriter(Workload):
+    """Each transaction writes every word of several private lines —
+    the worst case for a write-through commit's data volume."""
+
+    def schedule(self, proc, n_procs):
+        base = (1 + proc) * (1 << 22)
+        for i in range(TX_PER_PROC):
+            ops = [("c", 300)]
+            for j in range(LINES_PER_TX):
+                line_addr = base + ((i * LINES_PER_TX + j) % 64) * LINE_SIZE
+                for word in range(WORDS):
+                    ops.append(("st", line_addr + word * 4, i + j + word + 1))
+            yield Transaction(proc * 1_000 + i, ops)
+
+
+def _run(write_through: bool):
+    system = ScalableTCCSystem(
+        SystemConfig(n_processors=N, write_through_commit=write_through)
+    )
+    return system.run(FullLineWriter(), max_cycles=2_000_000_000)
+
+
+def _collect():
+    return {"write-back": _run(False), "write-through": _run(True)}
+
+
+def test_bench_ablation_writeback(benchmark, save_artifact):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for policy, result in results.items():
+        traffic = result.traffic.bytes_by_class
+        commits = result.committed_transactions
+        rows.append([
+            policy,
+            f"{result.cycles:,}",
+            f"{traffic['commit']:,}",
+            f"{traffic['commit'] / commits:,.0f}",
+            f"{traffic['writeback']:,}",
+        ])
+    save_artifact(
+        "ablation_writeback",
+        f"Ablation A2 — commit data policy @ {N} CPUs "
+        f"(full-line writes, {LINES_PER_TX} lines/tx)\n"
+        + format_table(
+            ["policy", "cycles", "commit bytes", "commit B/tx",
+             "writeback bytes"],
+            rows,
+        ),
+    )
+
+    wb = results["write-back"].traffic.bytes_by_class
+    wt = results["write-through"].traffic.bytes_by_class
+
+    # The commit critical path: write-through ships 32 B of data per
+    # line, write-back ships a 5-byte address+flags record — the paper's
+    # "addresses, but not data".
+    assert wt["commit"] > 3 * wb["commit"]
+
+    # Write-back defers the data movement to the write-back class
+    # (evictions, re-speculation flushes, final drain).
+    assert wb["writeback"] > wt["writeback"]
+
+    # Both policies finish the same work correctly (replay-verified) in
+    # comparable time on this conflict-free workload.
+    assert (
+        results["write-back"].committed_transactions
+        == results["write-through"].committed_transactions
+    )

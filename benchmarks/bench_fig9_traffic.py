@@ -1,0 +1,63 @@
+"""Figure 9 — remote traffic in bytes per instruction at 64 CPUs.
+
+The paper reports total traffic between 0.01 and 0.6 bytes/instruction
+across the suite, and argues that large transactions with a high
+ops-per-word-written ratio yield low overhead.  With 64 processors at
+1 GHz this lands within commodity cluster interconnect bandwidth
+(their Infiniband argument).
+"""
+
+from repro import APP_PROFILES, SystemConfig
+from repro.analysis import format_traffic_figure, run_app
+
+N_PROCESSORS = 64
+SCALE = 1.0
+
+
+def _collect():
+    config = SystemConfig(n_processors=N_PROCESSORS)
+    return {app: run_app(app, config, scale=SCALE) for app in APP_PROFILES}
+
+
+def test_bench_fig9(benchmark, save_artifact):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    series = {app: r.bytes_per_instruction() for app, r in results.items()}
+    save_artifact(
+        "fig9_traffic",
+        format_traffic_figure(
+            f"Figure 9 — remote traffic (bytes/instruction) @ {N_PROCESSORS} CPUs",
+            series,
+        ),
+    )
+
+    totals = {app: sum(bpi.values()) for app, bpi in series.items()}
+
+    # Paper band: ~0.01 to ~0.6 bytes per instruction.  Our synthetic
+    # equake/volrend miss remotely more often than the real binaries, so
+    # the ceiling here is looser (documented in EXPERIMENTS.md); the
+    # ordering and the >10x spread are the reproduced shape.
+    assert min(totals.values()) > 0.003
+    assert max(totals.values()) < 3.0
+    assert max(totals.values()) / min(totals.values()) > 10
+
+    # High ops/word applications produce the least traffic.
+    ranked = sorted(totals, key=totals.get)
+    assert {"specjbb2000", "swim", "svm_classify"} & set(ranked[:4])
+    # Communication-heavy small-transaction apps produce the most.
+    assert {"equake", "volrend"} & set(ranked[-4:])
+
+    # Write-back protocol: commit traffic is addresses, not data, so the
+    # commit class must not dominate data classes for data-heavy apps.
+    swim = series["swim"]
+    assert swim["commit"] < swim["miss"] + swim["writeback"]
+
+    # At 64 CPUs x 1 GHz, per-node bandwidth stays within a commodity
+    # cluster interconnect budget (paper: 2.5 MB/s to 60 MB/s per
+    # directory... the aggregate stays below ~1 GB/s per node).
+    for app, result in results.items():
+        cycles = result.cycles
+        peak_node_bytes = max(
+            result.traffic.bytes_into_node.values(), default=0
+        )
+        bytes_per_cycle = peak_node_bytes / max(1, cycles)
+        assert bytes_per_cycle < 16, (app, bytes_per_cycle)

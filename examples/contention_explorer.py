@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Contention explorer: livelock-freedom under extreme conflict.
+
+All processors hammer read-modify-writes on a progressively smaller pool
+of shared counters.  Eager-conflict-detection TM systems livelock here
+without a user-level contention manager; Scalable TCC's committer-wins
+rule (the lowest TID always commits) plus TID retention for starving
+transactions guarantees forward progress — every run finishes with the
+exact expected counter total, however violent the conflict rate.
+
+Run:  python examples/contention_explorer.py
+"""
+
+from repro import ScalableTCCSystem, SystemConfig
+from repro.workloads import CounterWorkload
+
+N_PROCESSORS = 8
+INCREMENTS = 12
+
+
+def main() -> None:
+    print(f"{N_PROCESSORS} processors x {INCREMENTS} increments, "
+          f"shrinking counter pool:\n")
+    print(f"{'counters':>9} {'violations':>11} {'retentions':>11} "
+          f"{'cycles':>10}  outcome")
+    for n_counters in (16, 8, 4, 2, 1):
+        workload = CounterWorkload(
+            n_counters=n_counters, increments_per_proc=INCREMENTS
+        )
+        system = ScalableTCCSystem(SystemConfig(n_processors=N_PROCESSORS))
+        result = system.run(workload)
+
+        total = sum(
+            result.memory_image.get(workload.counter_addr(i) // 32, [0] * 8)[0]
+            for i in range(n_counters)
+        )
+        expected = workload.expected_total(N_PROCESSORS)
+        retentions = sum(s.tid_retentions for s in result.proc_stats)
+        outcome = "exact" if total == expected else "WRONG"
+        print(f"{n_counters:>9} {result.total_violations:>11} "
+              f"{retentions:>11} {result.cycles:>10,}  "
+              f"{total}/{expected} {outcome}")
+        assert total == expected
+    print("\nEvery configuration completed with the exact total: "
+          "non-blocking and livelock-free, no contention manager needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Experiment drivers shared by the benchmark harness and examples.
+
+Each driver builds fresh systems (one per configuration — a system runs
+exactly one workload), runs the named application, and returns results
+keyed the way the corresponding paper artefact needs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.system import ScalableTCCSystem, SimulationResult
+from repro.workloads.apps import app_workload
+
+#: Safety bound: no single experiment may exceed this many cycles.
+MAX_CYCLES = 5_000_000_000
+
+
+def run_app(
+    name: str,
+    config: SystemConfig,
+    scale: float = 1.0,
+    verify: bool = True,
+) -> SimulationResult:
+    """One application on one configuration."""
+    system = ScalableTCCSystem(config)
+    workload = app_workload(name, scale=scale, line_size=config.line_size,
+                            word_size=config.word_size)
+    return system.run(workload, max_cycles=MAX_CYCLES, verify=verify)
+
+
+def run_scaling(
+    name: str,
+    processor_counts: Iterable[int],
+    base_config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    verify: bool = True,
+) -> Dict[int, SimulationResult]:
+    """Figure 7: the same total work across processor counts."""
+    base = base_config or SystemConfig()
+    results = {}
+    for n in processor_counts:
+        results[n] = run_app(name, base.scaled_to(n), scale=scale, verify=verify)
+    return results
+
+
+def run_latency_sweep(
+    name: str,
+    link_latencies: Iterable[int],
+    n_processors: int = 64,
+    base_config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    verify: bool = True,
+) -> Dict[int, SimulationResult]:
+    """Figure 8: the impact of cycles-per-hop at a fixed processor count."""
+    base = (base_config or SystemConfig()).scaled_to(n_processors)
+    results = {}
+    for latency in link_latencies:
+        results[latency] = run_app(
+            name, base.with_link_latency(latency), scale=scale, verify=verify
+        )
+    return results

@@ -1,0 +1,113 @@
+"""Generic configuration sweeps over the application suite.
+
+A sweep takes a base :class:`SystemConfig`, a grid of config overrides,
+and a workload factory; it runs every grid point (fresh system each —
+systems are single-shot) and collects the results in a flat table that
+renders as text or CSV.  The Figure 7/8 drivers are special cases of
+this; the sweep exists for the *other* questions users ask ("what if
+lines were 64 bytes?", "how does jitter interact with retention?").
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.config import SystemConfig
+from repro.core.system import ScalableTCCSystem, SimulationResult
+from repro.workloads.base import Workload
+
+WorkloadFactory = Callable[[SystemConfig], Workload]
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One grid point's parameters and outcome."""
+
+    overrides: Dict[str, Any]
+    result: SimulationResult
+
+    def row(self) -> Dict[str, Any]:
+        fractions = self.result.breakdown_fractions()
+        return {
+            **self.overrides,
+            "cycles": self.result.cycles,
+            "commits": self.result.committed_transactions,
+            "violations": self.result.total_violations,
+            "useful_frac": round(fractions["useful"], 4),
+            "commit_frac": round(fractions["commit"], 4),
+            "violation_frac": round(fractions["violation"], 4),
+            "bytes_per_instr": round(
+                sum(self.result.bytes_per_instruction().values()), 4
+            ),
+        }
+
+
+class Sweep:
+    """Cartesian sweep over config dimensions."""
+
+    def __init__(
+        self,
+        base_config: SystemConfig,
+        grid: Dict[str, Iterable[Any]],
+        workload_factory: WorkloadFactory,
+        max_cycles: Optional[int] = 5_000_000_000,
+        verify: bool = True,
+    ) -> None:
+        self.base_config = base_config
+        self.grid = {key: list(values) for key, values in grid.items()}
+        self.workload_factory = workload_factory
+        self.max_cycles = max_cycles
+        self.verify = verify
+        self.points: List[SweepPoint] = []
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+    def run(self) -> List[SweepPoint]:
+        """Execute every grid point; returns (and stores) the points."""
+        keys = list(self.grid)
+        self.points = []
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            overrides = dict(zip(keys, combo))
+            config = dataclasses.replace(self.base_config, **overrides)
+            system = ScalableTCCSystem(config)
+            workload = self.workload_factory(config)
+            result = system.run(
+                workload, max_cycles=self.max_cycles, verify=self.verify
+            )
+            self.points.append(SweepPoint(overrides, result))
+        return self.points
+
+    # -- rendering ---------------------------------------------------------
+
+    def _rows(self) -> List[Dict[str, Any]]:
+        if not self.points:
+            raise RuntimeError("sweep has not been run")
+        return [point.row() for point in self.points]
+
+    def as_table(self) -> str:
+        rows = self._rows()
+        headers = list(rows[0])
+        return format_table(
+            headers, [[str(row[h]) for h in headers] for row in rows]
+        )
+
+    def as_csv(self) -> str:
+        rows = self._rows()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+        return buffer.getvalue()
+
+    def best(self, metric: str = "cycles") -> SweepPoint:
+        """The point minimizing ``metric`` (a row key)."""
+        return min(self.points, key=lambda p: p.row()[metric])

@@ -1,0 +1,15 @@
+"""Small-scale TCC baseline (the paper's Section 2.2 motivation).
+
+The original TCC design operates under OCC "condition 2": commits are
+fully serialized by a global commit token and broadcast write-through on
+an ordered bus.  That works on a small CMP but, as the paper argues,
+"the sum of all commit times places a lower bound on execution time" at
+scale — which is exactly what the A1 ablation benchmark measures against
+the scalable directory protocol.
+
+Select it with ``SystemConfig(commit_backend="token")``.
+"""
+
+from repro.baseline.token import TokenCommitEngine
+
+__all__ = ["TokenCommitEngine"]

@@ -1,0 +1,261 @@
+"""Command-line interface: run and inspect simulations without code.
+
+Usage (also ``python -m repro <command>``):
+
+    python -m repro list-apps
+    python -m repro describe [-n 64]
+    python -m repro run barnes -n 16 --scale 0.5 [--tape]
+    python -m repro scaling specjbb2000 -n 1,8,32
+    python -m repro latency equake --hops 1,3,8 -n 32
+    python -m repro traffic swim -n 64
+
+Every run performs the full serial-replay serializability check before
+reporting results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import APP_PROFILES, ScalableTCCSystem, SystemConfig, app_workload
+from repro.analysis import (
+    format_breakdown_figure,
+    format_table,
+    format_traffic_figure,
+    run_latency_sweep,
+    run_scaling,
+)
+from repro.stats import characteristics, speedup
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", "--processors", type=int, default=16,
+                        help="processor count (default 16)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload volume multiplier (default 0.5)")
+    parser.add_argument("--link-latency", type=int, default=3,
+                        help="mesh cycles per hop (default 3)")
+    parser.add_argument("--backend", choices=["scalable", "token"],
+                        default="scalable", help="commit backend")
+    parser.add_argument("--granularity", choices=["word", "line"],
+                        default="word", help="speculative-state granularity")
+    parser.add_argument("--write-through", action="store_true",
+                        help="write-through commit (ablation)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the serial-replay check (faster)")
+
+
+def _config_from(args) -> SystemConfig:
+    return SystemConfig(
+        n_processors=args.processors,
+        link_latency=args.link_latency,
+        commit_backend=args.backend,
+        granularity=args.granularity,
+        write_through_commit=args.write_through,
+        seed=args.seed,
+    )
+
+
+def _check_app(name: str) -> str:
+    if name not in APP_PROFILES:
+        raise SystemExit(
+            f"unknown application {name!r}; try: {', '.join(sorted(APP_PROFILES))}"
+        )
+    return name
+
+
+def cmd_list_apps(args) -> int:
+    rows = []
+    for name, profile in sorted(APP_PROFILES.items()):
+        rows.append([
+            name,
+            str(profile.total_transactions),
+            str(profile.tx_instructions),
+            f"{profile.shared_fraction:.2f}",
+            f"{profile.write_shared_fraction:.2f}",
+            str(profile.barrier_every or "-"),
+        ])
+    print(format_table(
+        ["application", "transactions", "tx insts", "shared rd frac",
+         "shared wr frac", "barrier every"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_describe(args) -> int:
+    print(SystemConfig(n_processors=args.processors).describe())
+    return 0
+
+
+def cmd_run(args) -> int:
+    name = _check_app(args.app)
+    config = _config_from(args)
+    if args.timeline:
+        import dataclasses
+
+        config = dataclasses.replace(config, event_log=True)
+    system = ScalableTCCSystem(config)
+    result = system.run(
+        app_workload(name, scale=args.scale),
+        verify=not args.no_verify,
+    )
+    print(f"{name} @ {config.n_processors} CPUs "
+          f"({config.commit_backend} commit, {config.granularity} tracking)")
+    print(f"  cycles       : {result.cycles:,}")
+    print(f"  transactions : {result.committed_transactions} committed, "
+          f"{result.total_violations} violated")
+    print(f"  instructions : {result.committed_instructions:,}")
+    print("  breakdown    : " + "  ".join(
+        f"{k}={v * 100:.1f}%" for k, v in result.breakdown_fractions().items()
+    ))
+    bpi = result.bytes_per_instruction()
+    print(f"  traffic      : {sum(bpi.values()):.3f} B/instr "
+          f"(commit {bpi['commit']:.3f}, miss {bpi['miss']:.3f}, "
+          f"wb {bpi['writeback']:.3f}, overhead {bpi['overhead']:.3f})")
+    row = characteristics(name, result)
+    print(f"  tx size p90  : {row.tx_size_p90:,.0f} inst; "
+          f"wr-set {row.write_set_p90_kb:.2f} KB, rd-set {row.read_set_p90_kb:.2f} KB; "
+          f"{row.dirs_per_commit_p90:.0f} dirs/commit")
+    if args.tape:
+        print()
+        print(system.tape.report())
+    if args.timeline:
+        from repro.tracing import render_timeline
+
+        print()
+        print(render_timeline(system.events, config.n_processors,
+                              width=96, end_time=result.cycles))
+    if args.report:
+        from repro.analysis import render_report
+
+        text = render_report(name, result, system.tape.report())
+        with open(args.report, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.report}")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    name = _check_app(args.app)
+    counts = args.counts
+    base = _config_from(args).scaled_to(counts[0])
+    results = run_scaling(name, counts, base_config=base, scale=args.scale,
+                          verify=not args.no_verify)
+    series = {}
+    speedups = {}
+    baseline = results[counts[0]]
+    for n, result in results.items():
+        label = f"{name}@{n}"
+        series[label] = result.breakdown_fractions()
+        speedups[label] = speedup(baseline, result)
+    print(format_breakdown_figure(
+        f"{name}: scaling (normalized to {counts[0]} CPU(s))", series, speedups
+    ))
+    return 0
+
+
+def cmd_latency(args) -> int:
+    name = _check_app(args.app)
+    results = run_latency_sweep(
+        name, args.hops, n_processors=args.processors,
+        base_config=_config_from(args), scale=args.scale,
+        verify=not args.no_verify,
+    )
+    base = results[args.hops[0]].cycles
+    rows = [
+        [f"{lat} cy/hop", f"{result.cycles:,}", f"{result.cycles / base:.2f}x"]
+        for lat, result in results.items()
+    ]
+    print(format_table(["link latency", "cycles", "slowdown"], rows))
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    name = _check_app(args.app)
+    config = _config_from(args)
+    system = ScalableTCCSystem(config)
+    result = system.run(app_workload(name, scale=args.scale),
+                        verify=not args.no_verify)
+    print(format_traffic_figure(
+        f"{name} @ {config.n_processors} CPUs",
+        {name: result.bytes_per_instruction()},
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable TCC simulator (HPCA 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the application profiles") \
+        .set_defaults(func=cmd_list_apps)
+
+    p = sub.add_parser("describe", help="print the Table 2 machine description")
+    p.add_argument("-n", "--processors", type=int, default=64)
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("run", help="run one application once")
+    p.add_argument("app")
+    _add_machine_args(p)
+    p.add_argument("--tape", action="store_true",
+                   help="print the TAPE violation profile")
+    p.add_argument("--report", metavar="FILE",
+                   help="write a full markdown report to FILE")
+    p.add_argument("--timeline", action="store_true",
+                   help="render a per-processor ASCII timeline")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("scaling", help="run a processor-count sweep")
+    p.add_argument("app")
+    _add_machine_args(p)
+    p.add_argument("--counts", dest="counts", type=_int_list,
+                   default=[1, 8, 16], help="comma-separated CPU counts")
+    p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser("latency", help="run a link-latency sweep (Figure 8)")
+    p.add_argument("app")
+    _add_machine_args(p)
+    p.add_argument("--hops", type=_int_list, default=[1, 3, 8],
+                   help="comma-separated cycles-per-hop values")
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("traffic", help="report bytes/instruction (Figure 9)")
+    p.add_argument("app")
+    _add_machine_args(p)
+    p.set_defaults(func=cmd_traffic)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

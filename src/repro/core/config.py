@@ -1,0 +1,133 @@
+"""System configuration — Table 2 of the paper, as a dataclass.
+
+Defaults reproduce the paper's simulated machine:
+
+    CPU          single-issue PowerPC-like cores, CPI = 1.0
+    L1           32 KB, 32-byte lines, 4-way, 1-cycle latency
+    L2           512 KB, 32-byte lines, 8-way, 6-cycle latency
+    ICN          2-D grid, 3 cycles/link (Figure 8 sweeps 1..8)
+    Main memory  100 cycles
+    Directory    full-bit-vector sharers, first-touch allocation,
+                 10-cycle directory cache
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All architecture knobs for one simulated machine."""
+
+    n_processors: int = 8
+
+    # Memory geometry
+    line_size: int = 32
+    word_size: int = 4
+
+    # Private cache hierarchy
+    l1_size: int = 32 * 1024
+    l1_ways: int = 4
+    l1_latency: int = 1
+    l2_size: int = 512 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 6
+
+    # Speculative-state tracking granularity: "word" or "line"
+    granularity: str = "word"
+
+    # Interconnect
+    link_latency: int = 3
+    router_latency: int = 1
+    local_latency: int = 1
+    link_bytes_per_cycle: Optional[int] = 16
+    ordered_network: bool = False
+    network_jitter: int = 2
+    #: Model per-link occupancy along the XY route (wormhole contention)
+    #: instead of only per-node injection bandwidth.
+    link_contention: bool = False
+
+    # Directory and memory
+    directory_latency: int = 10
+    memory_latency: int = 100
+    #: Capacity of the directory cache in entries (None = ideal/infinite).
+    #: A message touching a line whose directory state is not cached pays
+    #: an extra memory access to fetch it (Table 2's "directory cache").
+    directory_cache_entries: Optional[int] = None
+    first_touch: bool = True
+    page_size: int = 4096
+
+    # Protocol policy
+    commit_backend: str = "scalable"  # "scalable" | "token" (small-scale TCC)
+    write_through_commit: bool = False  # ablation: data pushed home at commit
+    retention_threshold: int = 4  # violations before a TID is retained
+    tid_vendor_node: int = 0
+    #: Sharer-vector coarseness: 1 = the paper's full bit vector (one bit
+    #: per processor); k > 1 = one bit per group of k processors, so an
+    #: invalidation fans out to the whole group (extra spurious
+    #: invalidations — the classic directory-size/precision trade-off).
+    sharer_group_size: int = 1
+
+    # Tracing
+    #: Record a structured protocol event log (repro.tracing) at
+    #: ``system.events``; off by default (zero overhead).
+    event_log: bool = False
+
+    # Verification
+    #: Check machine-wide protocol invariants every ``paranoid_interval``
+    #: cycles during the run (slow; for debugging protocol changes).
+    paranoid: bool = False
+    paranoid_interval: int = 1000
+
+    # Reproducibility
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("need at least one processor")
+        if self.granularity not in ("word", "line"):
+            raise ValueError(f"granularity must be 'word' or 'line', got {self.granularity!r}")
+        if self.commit_backend not in ("scalable", "token"):
+            raise ValueError(
+                f"commit_backend must be 'scalable' or 'token', got {self.commit_backend!r}"
+            )
+        if self.line_size % self.word_size:
+            raise ValueError("line size must be a multiple of word size")
+        if self.retention_threshold < 1:
+            raise ValueError("retention threshold must be >= 1")
+        if self.sharer_group_size < 1:
+            raise ValueError("sharer group size must be >= 1")
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_size // self.word_size
+
+    def scaled_to(self, n_processors: int) -> "SystemConfig":
+        """The same machine with a different processor count."""
+        return replace(self, n_processors=n_processors)
+
+    def with_link_latency(self, link_latency: int) -> "SystemConfig":
+        """The same machine with a different cycles-per-hop (Figure 8)."""
+        return replace(self, link_latency=link_latency)
+
+    def describe(self) -> str:
+        """Human-readable Table 2-style summary."""
+        lines = [
+            f"CPU          {self.n_processors} single-issue cores (CPI=1.0)",
+            f"L1           {self.l1_size // 1024}-KB, {self.line_size}-byte lines, "
+            f"{self.l1_ways}-way, {self.l1_latency}-cycle",
+            f"L2           {self.l2_size // 1024}-KB, {self.line_size}-byte lines, "
+            f"{self.l2_ways}-way, {self.l2_latency}-cycle",
+            f"ICN          2D grid, {self.link_latency} cycles/link"
+            + ("" if not self.ordered_network else " (ordered)"),
+            f"Main memory  {self.memory_latency} cycles",
+            f"Directory    full-bit-vector sharers, "
+            f"{'first-touch' if self.first_touch else 'interleaved'} allocate, "
+            f"{self.directory_latency}-cycle directory cache",
+            f"Tracking     {self.granularity}-granularity speculative state",
+            f"Commit       {self.commit_backend}"
+            + (", write-through" if self.write_through_commit else ", write-back"),
+        ]
+        return "\n".join(lines)

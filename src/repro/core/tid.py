@@ -1,0 +1,65 @@
+"""The global Transaction ID vendor.
+
+Section 3.3: "TIDs are assigned by a global TID vendor" producing a
+*gap-free* sequence — distributed timestamp schemes (TLR-style) produce
+unique ordered IDs but with gaps, which would wedge the directories' NSTID
+registers forever.  The vendor is a trivial counter; what matters is the
+gap-free contract, which :meth:`TidVendor.check_all_resolved` lets tests
+and the system assert at end of run.
+
+TIDs start at 1 so code can use 0/None as "no TID".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+
+class TidVendor:
+    """Central gap-free TID counter with resolution bookkeeping."""
+
+    def __init__(self, home_node: int = 0) -> None:
+        self.home_node = home_node
+        self._next = 1
+        self._outstanding: Dict[int, int] = {}  # tid -> owning processor
+        self._resolved: Set[int] = set()
+        self.issued = 0
+
+    def next_tid(self, requester: int) -> int:
+        """Issue the next TID to ``requester``."""
+        tid = self._next
+        self._next += 1
+        self.issued += 1
+        self._outstanding[tid] = requester
+        return tid
+
+    def resolve(self, tid: int) -> None:
+        """The transaction holding ``tid`` committed or aborted-with-skips.
+
+        Every issued TID must eventually resolve exactly once — that is the
+        gap-free contract the directories rely on.
+        """
+        owner = self._outstanding.pop(tid, None)
+        if owner is None:
+            raise ValueError(f"TID {tid} resolved twice or never issued")
+        self._resolved.add(tid)
+
+    @property
+    def outstanding(self) -> Dict[int, int]:
+        return dict(self._outstanding)
+
+    @property
+    def highest_issued(self) -> int:
+        return self._next - 1
+
+    def check_all_resolved(self) -> None:
+        """Raise if any issued TID never committed or skipped (livelock or
+        protocol bug)."""
+        if self._outstanding:
+            raise AssertionError(
+                f"unresolved TIDs at end of run: {sorted(self._outstanding)}"
+            )
+        expected = set(range(1, self._next))
+        if self._resolved != expected:
+            missing = sorted(expected - self._resolved)
+            raise AssertionError(f"gap in resolved TID sequence: missing {missing}")

@@ -1,0 +1,20 @@
+"""Directory: per-node coherence controller for Scalable TCC.
+
+Each node's directory controls a contiguous slice of physical memory
+(Figure 4 of the paper).  It serializes commits to its slice through a
+gap-free *Now Serving TID* register fed by a :class:`SkipVector`, tracks
+per-line sharers/owner/marked state, generates commit invalidations, and
+filters all coherence traffic so only processors that may cache a line
+ever see messages about it.
+"""
+
+from repro.directory.controller import DirectoryController
+from repro.directory.skipvector import SkipVector
+from repro.directory.state import DirectoryEntry, DirectoryState
+
+__all__ = [
+    "DirectoryController",
+    "DirectoryEntry",
+    "DirectoryState",
+    "SkipVector",
+]

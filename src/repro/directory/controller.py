@@ -1,0 +1,532 @@
+"""The Scalable TCC directory controller.
+
+One controller per node, serving the node's slice of physical memory.
+All protocol messages for the slice funnel through a single FIFO serve
+loop (modelling directory-cache occupancy, 10 cycles per message); memory
+reads for load fills are overlapped — the controller snapshots state and
+schedules the reply ``memory_latency`` cycles later without blocking.
+
+Responsibilities (Sections 2.2 and 3 of the paper):
+
+* serve one committing transaction at a time, in gap-free TID order
+  (:class:`~repro.directory.skipvector.SkipVector`);
+* defer probe replies until ``NSTID >= probe.tid`` (the paper's
+  "directory does not respond until the required TID is serviced");
+* buffer Mark messages, gang-upgrade them to Owned on Commit, gang-clear
+  them on Abort;
+* fan out invalidations to sharers (except the committer) and hold the
+  NSTID until every invalidation is acknowledged — this is the race
+  elimination rule that makes probe replies a reliable validation signal;
+* stall loads that hit Marked lines until the commit resolves
+  (optimizing for commit success);
+* forward loads of Owned lines to the owner via Flush-Data requests, and
+  merge returning write-backs into memory, dropping stale ones by TID tag.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    AbortMsg,
+    CommitAck,
+    CommitMsg,
+    FlushRequest,
+    InvAck,
+    Invalidation,
+    LoadReply,
+    LoadRequest,
+    MarkAck,
+    MarkMsg,
+    ProbeReply,
+    ProbeRequest,
+    SkipMsg,
+    TokenWrite,
+    TokenWriteAck,
+    WriteBackMsg,
+)
+from repro.directory.skipvector import SkipVector
+from repro.directory.state import DirectoryState
+from repro.memory.address import AddressMap
+from repro.memory.mainmem import MainMemory
+from repro.network.interconnect import Interconnect
+from repro.sim import Engine, Process, Store, Timeout
+
+
+class ProtocolError(RuntimeError):
+    """An invariant of the commit protocol was broken — always a bug."""
+
+
+@dataclass
+class _CommitContext:
+    """Book-keeping for the commit currently being applied."""
+
+    tid: int
+    committer: int
+    pending_acks: int
+    started_at: int
+
+
+@dataclass
+class DirectoryStats:
+    """Per-directory counters for Table 3 / Figure 9."""
+
+    loads_served: int = 0
+    loads_stalled: int = 0
+    loads_forwarded: int = 0
+    commits_served: int = 0
+    aborts_served: int = 0
+    invalidations_sent: int = 0
+    writebacks_accepted: int = 0
+    writebacks_dropped: int = 0
+    skips_processed: int = 0
+    occupancy_samples: List[int] = field(default_factory=list)
+    busy_cycles: int = 0
+    dir_cache_hits: int = 0
+    dir_cache_misses: int = 0
+
+    @property
+    def dir_cache_hit_rate(self) -> float:
+        total = self.dir_cache_hits + self.dir_cache_misses
+        return self.dir_cache_hits / total if total else 1.0
+
+
+class _DirectoryCache:
+    """LRU tag store over directory entries — a timing model only.
+
+    The authoritative per-line state always lives in
+    :class:`~repro.directory.state.DirectoryState` (conceptually backed
+    by memory); this cache decides whether a message pays the 10-cycle
+    directory-cache latency alone or an extra memory access to fetch the
+    entry (Table 2's "directory cache").
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("directory cache needs at least one entry")
+        self.capacity = capacity
+        self._entries: dict[int, int] = {}
+        self._clock = 0
+
+    def access(self, line: int) -> bool:
+        """Touch the line's entry; True on hit, False on miss+fill."""
+        self._clock += 1
+        if line in self._entries:
+            self._entries[line] = self._clock
+            return True
+        if len(self._entries) >= self.capacity:
+            victim = min(self._entries, key=self._entries.get)
+            del self._entries[victim]
+        self._entries[line] = self._clock
+        return False
+
+
+class DirectoryController:
+    """Coherence controller for one node's memory slice."""
+
+    def __init__(
+        self,
+        node: int,
+        engine: Engine,
+        network: Interconnect,
+        memory: MainMemory,
+        amap: AddressMap,
+        config: SystemConfig,
+    ) -> None:
+        self.node = node
+        self.engine = engine
+        self.network = network
+        self.memory = memory
+        self.amap = amap
+        self.config = config
+        self.skipvec = SkipVector()
+        self.state = DirectoryState()
+        self.stats = DirectoryStats()
+
+        self._queue: Store = Store(engine, name=f"dir{node}.queue")
+        self._pending_probes: List[ProbeRequest] = []
+        self._stalled_loads: Dict[int, List[LoadRequest]] = defaultdict(list)
+        self._pending_forwards: Dict[int, List[LoadRequest]] = defaultdict(list)
+        self._flush_requested: set[int] = set()
+        self._active_commit: Optional[_CommitContext] = None
+        self._first_contact: Dict[int, int] = {}
+        self._dir_cache = (
+            _DirectoryCache(config.directory_cache_entries)
+            if config.directory_cache_entries
+            else None
+        )
+        # Write-through ablation: data travelling with marks, per tid.
+        self._wt_data: Dict[int, Dict[int, Dict[int, int]]] = defaultdict(dict)
+
+        #: Optional structured event log (set by the system when
+        #: ``config.event_log`` is enabled).
+        self.event_log = None
+
+        self.process = Process(engine, self._serve(), name=f"dir{node}")
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+
+    def deliver(self, msg: Any) -> None:
+        """Entry point: the node router drops directory messages here."""
+        self._queue.put(msg)
+
+    @property
+    def nstid(self) -> int:
+        return self.skipvec.nstid
+
+    # ------------------------------------------------------------------
+    # serve loop
+    # ------------------------------------------------------------------
+
+    def _serve(self):
+        dispatch = {
+            LoadRequest: self._handle_load,
+            SkipMsg: self._handle_skip,
+            ProbeRequest: self._handle_probe,
+            MarkMsg: self._handle_mark,
+            CommitMsg: self._handle_commit,
+            AbortMsg: self._handle_abort,
+            InvAck: self._handle_inv_ack,
+            WriteBackMsg: self._handle_writeback,
+            TokenWrite: self._handle_token_write,
+        }
+        latency = self.config.directory_latency
+        while True:
+            msg = yield self._queue.get()
+            service = latency + self._dir_cache_penalty(msg)
+            if service:
+                yield Timeout(self.engine, service)
+                self.stats.busy_cycles += service
+            handler = dispatch.get(type(msg))
+            if handler is None:
+                raise ProtocolError(f"directory {self.node} got unknown message {msg!r}")
+            handler(msg)
+
+    def _dir_cache_penalty(self, msg: Any) -> int:
+        """Extra cycles to fetch uncached directory entries from memory.
+
+        Concurrent entry fetches are overlapped: a message touching
+        several uncached lines pays one memory access.
+        """
+        if self._dir_cache is None:
+            return 0
+        lines = getattr(msg, "lines", None)
+        if lines is not None:
+            touched = list(lines)
+        else:
+            line = getattr(msg, "line", None)
+            touched = [line] if line is not None else []
+        missed = False
+        for line in touched:
+            if not self._dir_cache.access(line):
+                missed = True
+        if not touched:
+            return 0
+        if missed:
+            self.stats.dir_cache_misses += 1
+            return self.config.memory_latency
+        self.stats.dir_cache_hits += 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # outgoing helpers
+    # ------------------------------------------------------------------
+
+    def _send(self, dst: int, msg: Any, extra_delay: int = 0) -> None:
+        if extra_delay:
+            self.engine.schedule(
+                extra_delay,
+                lambda: self.network.send(
+                    self.node, dst, msg, msg.payload_bytes, msg.traffic_class
+                ),
+            )
+        else:
+            self.network.send(self.node, dst, msg, msg.payload_bytes, msg.traffic_class)
+
+    # ------------------------------------------------------------------
+    # loads and data movement
+    # ------------------------------------------------------------------
+
+    def _handle_load(self, msg: LoadRequest) -> None:
+        entry = self.state.entry(msg.line)
+        if entry.marked:
+            # Optimize for commit success: stall rather than serve data
+            # that is about to be overwritten (Section 3.3).
+            self._stalled_loads[msg.line].append(msg)
+            self.stats.loads_stalled += 1
+            return
+        if entry.owned:
+            # Owner holds the only current copy: recall it.
+            self._pending_forwards[msg.line].append(msg)
+            self.stats.loads_forwarded += 1
+            if msg.line not in self._flush_requested:
+                self._flush_requested.add(msg.line)
+                self._send(entry.owner, FlushRequest(self.node, msg.line))
+            return
+        self._serve_load_from_memory(entry, msg)
+
+    def _serve_load_from_memory(self, entry, msg: LoadRequest) -> None:
+        entry.sharers.add(msg.requester)
+        data = self.memory.read_line(msg.line)
+        self.stats.loads_served += 1
+        # Memory access proceeds off the critical serve loop.
+        self._send(
+            msg.requester,
+            LoadReply(msg.line, data, msg.seq),
+            extra_delay=self.config.memory_latency,
+        )
+
+    def _handle_writeback(self, msg: WriteBackMsg) -> None:
+        entry = self.state.entry(msg.line)
+        acceptable = (
+            entry.owned
+            and entry.owner == msg.writer
+            and msg.tid >= entry.tid_tag
+        )
+        if not acceptable:
+            # Stale or unexpected write-back: the TID-tag race rule.
+            self.stats.writebacks_dropped += 1
+            if self.event_log is not None:
+                self.event_log.log(self.engine.now, "writeback", self.node,
+                                   line=msg.line, writer=msg.writer,
+                                   accepted=False)
+            return
+        self.memory.write_words(msg.line, msg.words)
+        self.stats.writebacks_accepted += 1
+        if self.event_log is not None:
+            self.event_log.log(self.engine.now, "writeback", self.node,
+                               line=msg.line, writer=msg.writer,
+                               accepted=True)
+        entry.release_ownership()
+        if msg.remove:
+            entry.sharers.discard(msg.writer)
+        self._flush_requested.discard(msg.line)
+        waiters = self._pending_forwards.pop(msg.line, [])
+        for load in waiters:
+            self._handle_load(load)
+
+    def _handle_token_write(self, msg: TokenWrite) -> None:
+        """Small-scale TCC baseline: write-through commit data to memory."""
+        for line, words in msg.lines.items():
+            self.memory.write_words(line, words)
+            entry = self.state.entry(line)
+            entry.tid_tag = msg.tid
+        self.stats.commits_served += 1
+        self._send(msg.committer, TokenWriteAck(self.node, msg.tid))
+
+    # ------------------------------------------------------------------
+    # commit protocol
+    # ------------------------------------------------------------------
+
+    def _handle_skip(self, msg: SkipMsg) -> None:
+        self.stats.skips_processed += 1
+        if self._active_commit is not None and msg.tid == self._active_commit.tid:
+            raise ProtocolError(
+                f"dir {self.node}: skip from TID {msg.tid} while it is committing"
+            )
+        if self.skipvec.skip(msg.tid):
+            self._after_advance()
+
+    def _handle_probe(self, msg: ProbeRequest) -> None:
+        if self.nstid >= msg.tid:
+            self._reply_probe(msg)
+        else:
+            self._pending_probes.append(msg)
+
+    def _reply_probe(self, msg: ProbeRequest) -> None:
+        self._send(
+            msg.requester,
+            ProbeReply(self.node, msg.tid, self.nstid, msg.writing),
+        )
+
+    def _handle_mark(self, msg: MarkMsg) -> None:
+        if msg.tid != self.nstid:
+            raise ProtocolError(
+                f"dir {self.node}: mark from TID {msg.tid} while serving {self.nstid}"
+            )
+        self._first_contact.setdefault(msg.tid, self.engine.now)
+        for line, word_mask in msg.lines.items():
+            self.state.entry(line).mark(msg.tid, word_mask)
+        if msg.data:
+            self._wt_data[msg.tid].update(msg.data)
+        self._send(msg.committer, MarkAck(self.node, msg.tid))
+
+    def _handle_commit(self, msg: CommitMsg) -> None:
+        if msg.tid != self.nstid:
+            raise ProtocolError(
+                f"dir {self.node}: commit from TID {msg.tid} while serving {self.nstid}"
+            )
+        if self._active_commit is not None:
+            raise ProtocolError(f"dir {self.node}: overlapping commits")
+        marked = self.state.marked_lines(msg.tid)
+        if not marked:
+            raise ProtocolError(
+                f"dir {self.node}: commit from TID {msg.tid} with no marked lines"
+            )
+        word_granularity = self.config.granularity == "word"
+        pending = 0
+        for entry in marked:
+            invalidatees = self._invalidation_targets(entry) - {msg.committer}
+            for sharer in invalidatees:
+                self._send(
+                    sharer,
+                    Invalidation(
+                        self.node, entry.line, entry.marked_words,
+                        msg.tid, msg.committer,
+                    ),
+                )
+                pending += 1
+            self.stats.invalidations_sent += len(invalidatees)
+            if not word_granularity:
+                # Line granularity: the invalidation drops the whole line,
+                # so invalidated processors stop being sharers (the paper's
+                # policy).  At word granularity they may retain other valid
+                # words and must keep receiving invalidations.
+                entry.sharers -= invalidatees
+        started = self._first_contact.pop(msg.tid, self.engine.now)
+        self._active_commit = _CommitContext(msg.tid, msg.committer, pending, started)
+        if pending == 0:
+            self._finish_commit()
+
+    def _invalidation_targets(self, entry) -> set:
+        """Who a commit to this line must invalidate.
+
+        With the paper's full bit vector this is exactly the sharers; a
+        coarse vector (``sharer_group_size`` > 1) only remembers groups,
+        so the whole group of every sharer is invalidated — the extra
+        targets just acknowledge (spurious invalidations are harmless,
+        Section 3.3).
+        """
+        group = self.config.sharer_group_size
+        if group <= 1 or not entry.sharers:
+            return set(entry.sharers)
+        n = self.config.n_processors
+        targets = set()
+        for sharer in entry.sharers:
+            base = (sharer // group) * group
+            targets.update(range(base, min(base + group, n)))
+        return targets
+
+    def _handle_inv_ack(self, msg: InvAck) -> None:
+        ctx = self._active_commit
+        if ctx is None or msg.tid != ctx.tid:
+            raise ProtocolError(
+                f"dir {self.node}: unexpected InvAck tid={msg.tid} "
+                f"(active={ctx.tid if ctx else None})"
+            )
+        if msg.wb_words:
+            # The invalidated previous owner returned its surviving words;
+            # they must land in memory before ownership transfers.
+            self.memory.write_words(msg.line, msg.wb_words)
+            entry = self.state.entry(msg.line)
+            if entry.owner == msg.sharer:
+                entry.release_ownership()
+        ctx.pending_acks -= 1
+        if ctx.pending_acks == 0:
+            self._finish_commit()
+
+    def _finish_commit(self) -> None:
+        ctx = self._active_commit
+        assert ctx is not None
+        write_through = self._wt_data.pop(ctx.tid, None)
+        for entry in self.state.marked_lines(ctx.tid):
+            if self.config.write_through_commit:
+                words = (write_through or {}).get(entry.line, {})
+                self.memory.write_words(entry.line, words)
+                entry.tid_tag = ctx.tid
+                if self.config.granularity == "word":
+                    entry.sharers.add(ctx.committer)
+                else:
+                    entry.sharers = {ctx.committer}
+                entry.owner = None
+                entry.clear_mark()
+            else:
+                entry.commit_to(
+                    ctx.committer,
+                    ctx.tid,
+                    keep_sharers=self.config.granularity == "word",
+                )
+        self.stats.commits_served += 1
+        self.stats.occupancy_samples.append(self.engine.now - ctx.started_at)
+        if self.event_log is not None:
+            self.event_log.log(self.engine.now, "dir_commit", self.node,
+                               tid=ctx.tid, committer=ctx.committer)
+        self._send(ctx.committer, CommitAck(self.node, ctx.tid))
+        self._active_commit = None
+        self.skipvec.complete_current()
+        self._after_advance()
+
+    def _handle_abort(self, msg: AbortMsg) -> None:
+        ctx = self._active_commit
+        if ctx is not None and ctx.tid == msg.tid:
+            raise ProtocolError(
+                f"dir {self.node}: abort from TID {msg.tid} after its commit message"
+            )
+        for entry in self.state.marked_lines(msg.tid):
+            entry.clear_mark()
+        self._wt_data.pop(msg.tid, None)
+        self._first_contact.pop(msg.tid, None)
+        self.stats.aborts_served += 1
+        if self.event_log is not None:
+            self.event_log.log(self.engine.now, "dir_abort", self.node,
+                               tid=msg.tid, retain=msg.retain)
+        if not msg.retain and self.skipvec.skip(msg.tid):
+            self._after_advance()
+        else:
+            self._release_stalled_loads()
+
+    # ------------------------------------------------------------------
+    # post-advance housekeeping
+    # ------------------------------------------------------------------
+
+    def _after_advance(self) -> None:
+        nstid = self.nstid
+        if self._pending_probes:
+            ready = [p for p in self._pending_probes if nstid >= p.tid]
+            if ready:
+                self._pending_probes = [
+                    p for p in self._pending_probes if nstid < p.tid
+                ]
+                for probe in ready:
+                    self._reply_probe(probe)
+        self._release_stalled_loads()
+
+    def _release_stalled_loads(self) -> None:
+        if not self._stalled_loads:
+            return
+        released_lines = [
+            line
+            for line, waiting in self._stalled_loads.items()
+            if waiting and not self.state.entry(line).marked
+        ]
+        for line in released_lines:
+            waiting = self._stalled_loads.pop(line)
+            for load in waiting:
+                # Re-enqueue through the serve loop so each released load
+                # pays directory occupancy again.
+                self._queue.put(load)
+
+    # ------------------------------------------------------------------
+    # end-of-run checks
+    # ------------------------------------------------------------------
+
+    def quiescent_check(self) -> None:
+        """Raise if protocol state is still in flight (hang diagnosis)."""
+        problems = []
+        if self._active_commit is not None:
+            problems.append(f"active commit {self._active_commit.tid}")
+        if self._pending_probes:
+            problems.append(f"{len(self._pending_probes)} pending probes")
+        stalled = sum(len(v) for v in self._stalled_loads.values())
+        if stalled:
+            problems.append(f"{stalled} stalled loads")
+        forwards = sum(len(v) for v in self._pending_forwards.values())
+        if forwards:
+            problems.append(f"{forwards} pending forwards")
+        if problems:
+            raise ProtocolError(f"dir {self.node} not quiescent: {', '.join(problems)}")

@@ -1,0 +1,215 @@
+"""Message transport over the mesh with latency, bandwidth and jitter.
+
+Delivery time for a packet from ``src`` to ``dst``:
+
+    egress wait (per-node bandwidth serialization, optional)
+  + hops(src, dst) * link_latency          (Table 2 / Figure 8 knob)
+  + router overhead (fixed)
+  + serialization  (total_bytes / link_bytes_per_cycle, optional)
+  + jitter          (deterministic pseudo-random, unordered networks only)
+
+The network is *unordered* by default, as in the paper ("additional
+mechanisms are required to accommodate ... its distributed memory and
+unordered interconnection network"): two packets between the same pair of
+nodes may be delivered out of send order because of jitter.  Protocol
+layers must (and do) tolerate this; an ``ordered=True`` mode exists for
+differential testing.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.network.message import HEADER_BYTES, TRAFFIC_CLASSES, Packet
+from repro.network.topology import MeshTopology
+from repro.sim.engine import Engine
+
+Handler = Callable[[Packet], None]
+
+
+class TrafficStats:
+    """Byte counters by class and by receiving node (Figure 9's inputs)."""
+
+    def __init__(self) -> None:
+        self.bytes_by_class: Dict[str, int] = {cls: 0 for cls in TRAFFIC_CLASSES}
+        self.bytes_into_node: Dict[int, int] = defaultdict(int)
+        self.bytes_out_of_node: Dict[int, int] = defaultdict(int)
+        self.packets = 0
+        self.total_hop_cycles = 0
+
+    def record(self, packet: Packet, hop_cycles: int) -> None:
+        self.packets += 1
+        self.bytes_by_class[packet.traffic_class] += packet.payload_bytes
+        self.bytes_by_class["overhead"] += HEADER_BYTES
+        self.bytes_into_node[packet.dst] += packet.total_bytes
+        self.bytes_out_of_node[packet.src] += packet.total_bytes
+        self.total_hop_cycles += hop_cycles
+
+    def record_replica(self, packet: Packet) -> None:
+        """A fabric-replicated multicast copy: one route byte of overhead."""
+        self.packets += 1
+        self.bytes_by_class["overhead"] += 1
+        self.bytes_into_node[packet.dst] += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class.values())
+
+    def per_class_fraction(self) -> Dict[str, float]:
+        total = self.total_bytes
+        if not total:
+            return {cls: 0.0 for cls in TRAFFIC_CLASSES}
+        return {cls: count / total for cls, count in self.bytes_by_class.items()}
+
+
+class Interconnect:
+    """The machine's 2-D mesh transport."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        n_nodes: int,
+        link_latency: int = 3,
+        router_latency: int = 1,
+        local_latency: int = 1,
+        link_bytes_per_cycle: Optional[int] = 16,
+        ordered: bool = False,
+        jitter: int = 2,
+        seed: int = 0,
+        link_contention: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.topology = MeshTopology(n_nodes)
+        self.link_latency = link_latency
+        self.router_latency = router_latency
+        self.local_latency = local_latency
+        self.link_bytes_per_cycle = link_bytes_per_cycle
+        self.ordered = ordered
+        self.jitter = jitter if not ordered else 0
+        self._rng = random.Random(seed)
+        self._handlers: Dict[int, Handler] = {}
+        self._egress_free_at: Dict[int, int] = defaultdict(int)
+        self.link_contention = link_contention
+        self._link_free_at: Dict[tuple, int] = defaultdict(int)
+        self.stats = TrafficStats()
+
+    # -- wiring -----------------------------------------------------------
+
+    def register(self, node: int, handler: Handler) -> None:
+        """Attach the node's message handler (its communication assist)."""
+        if node in self._handlers:
+            raise ValueError(f"node {node} already registered")
+        self._handlers[node] = handler
+
+    # -- timing -----------------------------------------------------------
+
+    def transit_cycles(self, src: int, dst: int, total_bytes: int) -> int:
+        """Pure wire time, excluding egress queueing and jitter."""
+        hops = self.topology.hops(src, dst)
+        if hops == 0:
+            return self.local_latency
+        cycles = hops * self.link_latency + self.router_latency
+        if self.link_bytes_per_cycle:
+            cycles += (total_bytes + self.link_bytes_per_cycle - 1) // self.link_bytes_per_cycle
+        return cycles
+
+    def _contended_transit(
+        self, src: int, dst: int, total_bytes: int, start_offset: int
+    ) -> int:
+        """Wormhole-style XY traversal with per-link occupancy.
+
+        The packet's head flit reserves each directed link in path order;
+        a busy link stalls the packet until it frees.  Each link stays
+        busy for the packet's serialization time.
+        """
+        serialization = 1
+        if self.link_bytes_per_cycle:
+            serialization = max(
+                1,
+                (total_bytes + self.link_bytes_per_cycle - 1)
+                // self.link_bytes_per_cycle,
+            )
+        now = self.engine.now + start_offset
+        arrival = now
+        for link in self.topology.route(src, dst):
+            enter = max(arrival, self._link_free_at[link])
+            self._link_free_at[link] = enter + serialization
+            arrival = enter + self.link_latency
+        arrival += self.router_latency + serialization
+        return arrival - now
+
+    def _departure_delay(self, src: int, total_bytes: int) -> int:
+        """Egress serialization: a node injects one packet at a time."""
+        if not self.link_bytes_per_cycle:
+            return 0
+        now = self.engine.now
+        free_at = max(self._egress_free_at[src], now)
+        inject = (total_bytes + self.link_bytes_per_cycle - 1) // self.link_bytes_per_cycle
+        self._egress_free_at[src] = free_at + inject
+        return free_at - now
+
+    # -- sending ----------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        payload_bytes: int,
+        traffic_class: str,
+        replica: bool = False,
+    ) -> Packet:
+        """Dispatch a packet; the destination handler runs at delivery time.
+
+        ``replica`` marks in-fabric copies of a multicast: they are
+        delivered normally but charged only a route byte (the routers
+        replicate the flit; it is not re-injected at the source).
+        """
+        packet = Packet(src, dst, payload, payload_bytes, traffic_class)
+        packet.send_time = self.engine.now
+        delay = 0 if replica else self._departure_delay(src, packet.total_bytes)
+        if self.link_contention and src != dst:
+            delay += self._contended_transit(src, dst, packet.total_bytes, delay)
+        else:
+            delay += self.transit_cycles(src, dst, packet.total_bytes)
+        if self.jitter:
+            delay += self._rng.randint(0, self.jitter)
+        packet.deliver_time = self.engine.now + delay
+        hops = self.topology.hops(src, dst)
+        if replica:
+            self.stats.record_replica(packet)
+        else:
+            self.stats.record(packet, hops * self.link_latency)
+        self.engine.schedule(delay, lambda: self._deliver(packet))
+        return packet
+
+    def multicast(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        payload: Any,
+        payload_bytes: int,
+        traffic_class: str,
+    ) -> int:
+        """Limited multicast (Section 2.2: "limited multicast messages are
+        cheap in a high bandwidth interconnect").
+
+        One full packet is injected and charged; the fabric replicates it
+        toward the remaining destinations, each copy costing only a route
+        byte of overhead.  Every destination still receives its own
+        delivery with an independent latency.
+        """
+        count = 0
+        for dst in dsts:
+            self.send(src, dst, payload, payload_bytes, traffic_class,
+                      replica=count > 0)
+            count += 1
+        return count
+
+    def _deliver(self, packet: Packet) -> None:
+        handler = self._handlers.get(packet.dst)
+        if handler is None:
+            raise RuntimeError(f"packet to unregistered node {packet.dst}: {packet!r}")
+        handler(packet)

@@ -1,0 +1,66 @@
+"""Packets and traffic classification.
+
+The interconnect transports opaque payloads wrapped in :class:`Packet`
+metadata.  Every packet is split, for accounting, into a fixed header
+(counted as *overhead*) and a payload counted under one of the Figure 9
+traffic classes:
+
+* ``commit``     — commit-protocol addresses and control (probe, skip,
+                   mark, commit, abort, TID traffic, invalidations, acks);
+* ``miss``       — data moved to satisfy remote load misses;
+* ``writeback``  — committed data returning to its home node (write-backs
+                   and flushes);
+* ``overhead``   — packet headers (every message pays this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+CLASS_COMMIT = "commit"
+CLASS_MISS = "miss"
+CLASS_WRITEBACK = "writeback"
+CLASS_OVERHEAD = "overhead"
+
+TRAFFIC_CLASSES = (CLASS_COMMIT, CLASS_MISS, CLASS_WRITEBACK, CLASS_OVERHEAD)
+
+#: Fixed per-packet header: route, type, TID tag, address — 8 bytes is the
+#: conventional flit-header allowance used in DSM studies.
+HEADER_BYTES = 8
+
+_packet_counter = 0
+
+
+def _next_packet_id() -> int:
+    global _packet_counter
+    _packet_counter += 1
+    return _packet_counter
+
+
+@dataclass
+class Packet:
+    """One message in flight on the interconnect."""
+
+    src: int
+    dst: int
+    payload: Any
+    payload_bytes: int
+    traffic_class: str
+    send_time: int = 0
+    deliver_time: int = 0
+    packet_id: int = field(default_factory=_next_packet_id)
+
+    def __post_init__(self) -> None:
+        if self.traffic_class not in TRAFFIC_CLASSES:
+            raise ValueError(f"unknown traffic class {self.traffic_class!r}")
+        if self.payload_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+
+    @property
+    def total_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+    @property
+    def latency(self) -> int:
+        return self.deliver_time - self.send_time

@@ -1,0 +1,13 @@
+"""TCC processors: transactional execution and the commit engines.
+
+Each processor runs its workload schedule as one continuous sequence of
+transactions (the TCC model: all code is inside some transaction),
+buffering speculative state in its private cache hierarchy, rolling back
+on violations, and committing through either the scalable directory
+protocol or the small-scale token/bus baseline.
+"""
+
+from repro.processor.core import TCCProcessor
+from repro.processor.stats import ProcessorStats
+
+__all__ = ["ProcessorStats", "TCCProcessor"]

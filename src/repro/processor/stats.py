@@ -1,0 +1,84 @@
+"""Per-processor statistics.
+
+The cycle categories are exactly the five components of Figures 6 and 7:
+
+* ``useful``    — cycles executing instructions that ultimately commit
+  (compute plus cache-hit time);
+* ``miss``      — stall cycles waiting for cache misses (of committed
+  work);
+* ``idle``      — barrier / synchronization wait;
+* ``commit``    — the commit phase: TID acquisition, skips, probes,
+  marks, commit messages and their acknowledgements;
+* ``violation`` — everything spent on attempts that aborted, including
+  their misses and any partial commit work.
+
+Per-commit samples feed Table 3 (transaction sizes, read/write sets,
+directories touched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ProcessorStats:
+    """Counters and samples for one processor."""
+
+    useful_cycles: int = 0
+    miss_cycles: int = 0
+    idle_cycles: int = 0
+    commit_cycles: int = 0
+    violation_cycles: int = 0
+
+    committed_transactions: int = 0
+    committed_instructions: int = 0
+    violations: int = 0
+    execution_violations: int = 0  # aborted before reaching the commit phase
+    commit_violations: int = 0     # aborted during the commit phase
+    load_retries: int = 0          # load/invalidate races resolved by retry
+    tid_retentions: int = 0
+
+    tx_instructions: List[int] = field(default_factory=list)
+    write_set_bytes: List[int] = field(default_factory=list)
+    read_set_bytes: List[int] = field(default_factory=list)
+    dirs_touched: List[int] = field(default_factory=list)
+    commit_wait: List[int] = field(default_factory=list)
+
+    # Commit-phase sub-breakdown (scalable backend): the paper notes for
+    # volrend that "the majority of the [commit] time is spent probing
+    # directories"; these cycles let us show that directly.
+    commit_tid_cycles: int = 0    # waiting for the TID vendor
+    commit_probe_cycles: int = 0  # probing + marking until validated
+    commit_ack_cycles: int = 0    # commit messages until all acks
+
+    def commit_phase_breakdown(self) -> Dict[str, int]:
+        return {
+            "tid": self.commit_tid_cycles,
+            "probe": self.commit_probe_cycles,
+            "ack": self.commit_ack_cycles,
+        }
+
+    @property
+    def busy_cycles(self) -> int:
+        """All attributed (non-idle) cycles."""
+        return (
+            self.useful_cycles
+            + self.miss_cycles
+            + self.commit_cycles
+            + self.violation_cycles
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        return self.busy_cycles + self.idle_cycles
+
+    def breakdown(self) -> Dict[str, int]:
+        return {
+            "useful": self.useful_cycles,
+            "miss": self.miss_cycles,
+            "idle": self.idle_cycles,
+            "commit": self.commit_cycles,
+            "violation": self.violation_cycles,
+        }

@@ -1,0 +1,15 @@
+"""TAPE-style transactional profiling.
+
+The paper (Section 3.3) points programmers at TAPE — the TCC group's
+Transactional Application Profiling Environment — to "quickly detect the
+occurrence" of rare pathologies such as starving transactions.  This
+package reproduces that companion tool: it rides along with any
+simulation, attributing every violation to the conflicting line, the
+committing processor, and the victim transaction, and summarizing the
+conflict hot spots, wasted work, retention (starvation) events, and
+speculative-buffer overflows.
+"""
+
+from repro.profiling.tape import TapeProfiler, ViolationRecord
+
+__all__ = ["TapeProfiler", "ViolationRecord"]

@@ -1,0 +1,160 @@
+"""The TAPE profiler: violation attribution and pathology reports.
+
+TAPE (Chafi et al., "TAPE: a transactional application profiling
+environment") hooks the violation path of a TCC machine: hardware
+already knows, at abort time, which address caused the violation, which
+transaction committed it, and how much work was discarded.  The profiler
+aggregates those events by conflict line ("object"), by transaction
+label, and by processor pair, and flags starvation (transactions that
+needed TID retention to make progress).
+
+The hooks cost a dictionary update per violation, so the profiler is
+always attached to a :class:`~repro.core.system.ScalableTCCSystem` as
+``system.tape``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.base import Transaction
+
+
+@dataclass
+class ViolationRecord:
+    """One violation event, as hardware would report it to TAPE."""
+
+    time: int
+    victim_proc: int
+    victim_tx: int
+    victim_label: str
+    line: int
+    word_mask: int
+    committer_tid: int
+    committer_proc: int
+    wasted_cycles: int
+    in_commit_phase: bool
+
+
+class TapeProfiler:
+    """Aggregates violation/retention/overflow events for reporting."""
+
+    def __init__(self, max_records: int = 10_000) -> None:
+        self.max_records = max_records
+        self.records: List[ViolationRecord] = []
+        self.total_violations = 0
+        self.total_wasted_cycles = 0
+        self.by_line: Counter = Counter()
+        self.wasted_by_line: Counter = Counter()
+        self.by_label: Counter = Counter()
+        self.by_pair: Counter = Counter()  # (committer_proc, victim_proc)
+        self.retentions: List[Tuple[int, int, int]] = []  # (time, proc, tx)
+        self.overflow_events = 0
+        # pending causes keyed by victim processor until abort accounting
+        self._pending_cause: Dict[int, Tuple[int, int, int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # hooks (called by the processor model)
+    # ------------------------------------------------------------------
+
+    def note_violation_cause(
+        self, victim_proc: int, line: int, word_mask: int,
+        committer_tid: int, committer_proc: int,
+    ) -> None:
+        """The invalidation that killed the transaction (hardware knows
+        it at violation time; the wasted work is known at abort time)."""
+        self._pending_cause.setdefault(
+            victim_proc, (line, word_mask, committer_tid, committer_proc)
+        )
+
+    def record_abort(
+        self,
+        time: int,
+        victim_proc: int,
+        tx: Transaction,
+        wasted_cycles: int,
+        in_commit_phase: bool,
+    ) -> None:
+        """The violated attempt has been rolled back; account it."""
+        cause = self._pending_cause.pop(victim_proc, None)
+        line, word_mask, committer_tid, committer_proc = cause or (-1, 0, -1, -1)
+        self.total_violations += 1
+        self.total_wasted_cycles += wasted_cycles
+        self.by_line[line] += 1
+        self.wasted_by_line[line] += wasted_cycles
+        self.by_label[tx.label or f"tx{tx.tx_id}"] += 1
+        self.by_pair[(committer_proc, victim_proc)] += 1
+        if len(self.records) < self.max_records:
+            self.records.append(
+                ViolationRecord(
+                    time=time,
+                    victim_proc=victim_proc,
+                    victim_tx=tx.tx_id,
+                    victim_label=tx.label,
+                    line=line,
+                    word_mask=word_mask,
+                    committer_tid=committer_tid,
+                    committer_proc=committer_proc,
+                    wasted_cycles=wasted_cycles,
+                    in_commit_phase=in_commit_phase,
+                )
+            )
+
+    def record_retention(self, time: int, proc: int, tx: Transaction) -> None:
+        """A transaction crossed the retention threshold: starvation."""
+        self.retentions.append((time, proc, tx.tx_id))
+
+    def record_overflow(self) -> None:
+        self.overflow_events += 1
+
+    # ------------------------------------------------------------------
+    # queries and reporting
+    # ------------------------------------------------------------------
+
+    def hot_lines(self, top: int = 10) -> List[Tuple[int, int, int]]:
+        """(line, violations, wasted cycles), most-violating first."""
+        return [
+            (line, count, self.wasted_by_line[line])
+            for line, count in self.by_line.most_common(top)
+            if line >= 0
+        ]
+
+    def starving_transactions(self) -> List[Tuple[int, int, int]]:
+        return list(self.retentions)
+
+    def commit_phase_fraction(self) -> float:
+        """Fraction of recorded violations that struck during commit."""
+        if not self.records:
+            return 0.0
+        in_commit = sum(1 for r in self.records if r.in_commit_phase)
+        return in_commit / len(self.records)
+
+    def report(self, top: int = 8) -> str:
+        lines = [
+            "TAPE report",
+            f"  violations          : {self.total_violations}",
+            f"  wasted cycles       : {self.total_wasted_cycles:,}",
+            f"  retained (starving) : {len(self.retentions)}",
+            f"  buffer overflows    : {self.overflow_events}",
+        ]
+        hot = self.hot_lines(top)
+        if hot:
+            lines.append("  hottest conflict lines:")
+            for line, count, wasted in hot:
+                lines.append(
+                    f"    line {line:#x}: {count} violations, "
+                    f"{wasted:,} wasted cycles"
+                )
+        if self.by_label:
+            lines.append("  most-violated transactions:")
+            for label, count in self.by_label.most_common(top):
+                lines.append(f"    {label}: {count}")
+        pairs = [(pair, n) for pair, n in self.by_pair.most_common(top)
+                 if pair[0] >= 0]
+        if pairs:
+            lines.append("  committer -> victim pairs:")
+            for (committer, victim), count in pairs:
+                lines.append(f"    P{committer} -> P{victim}: {count}")
+        return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free process/event simulator in the style of SimPy,
+sized for architectural simulation: an :class:`~repro.sim.engine.Engine`
+owns the event queue and the clock (measured in CPU cycles); coroutine
+:class:`~repro.sim.process.Process` objects model hardware agents
+(processors, directory controllers); :mod:`repro.sim.resources` provides
+the synchronization primitives the protocol model needs (FIFO servers for
+occupancy modelling, barriers for the workloads' barrier structure).
+
+Everything in :mod:`repro` runs on this kernel, so its semantics are the
+semantics of the whole simulator:
+
+* Time is an integer cycle count; events scheduled for the same cycle fire
+  in FIFO scheduling order (deterministic).
+* A process is a Python generator that ``yield``-s :class:`Event` objects
+  (or uses ``yield from`` for sub-routines); it resumes when the yielded
+  event fires, receiving the event's value.
+* Firing an event schedules its callbacks at the *current* cycle; there is
+  no zero-delay cascade limit, but cycles never go backwards.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Barrier, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

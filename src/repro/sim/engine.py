@@ -1,0 +1,90 @@
+"""The discrete-event engine: clock plus time-ordered callback queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a dead engine)."""
+
+
+class Engine:
+    """Event queue and simulated clock.
+
+    The engine is deliberately tiny: it knows nothing about processes or
+    hardware, it only runs ``(cycle, seq, callback)`` entries in
+    deterministic order.  Higher layers (events, processes, resources)
+    build on :meth:`schedule`.
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._running = False
+        # Diagnostic counters; cheap and useful for performance reports.
+        self.events_executed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` ``delay`` cycles from now.
+
+        ``delay`` must be a non-negative integer; a zero delay runs the
+        callback later in the current cycle, after already-queued work for
+        this cycle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), self._seq, callback))
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Execute queued events; return the final simulation time.
+
+        Runs until the queue drains (the clock stays at the last executed
+        event) or until the clock would pass ``until`` (events at exactly
+        ``until`` still execute, and the clock parks at ``until``).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                when, _seq, callback = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                self.events_executed += 1
+                callback()
+        finally:
+            self._running = False
+        return self._now
+
+    def peek(self) -> Optional[int]:
+        """Time of the next queued event, or ``None`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Engine(now={self._now}, pending={len(self._queue)})"
+
+
+def ensure_engine(obj: Any) -> Engine:
+    """Return ``obj`` if it is an :class:`Engine`, else raise.
+
+    Used by components that accept either an engine or a larger system
+    object exposing ``.engine``.
+    """
+    if isinstance(obj, Engine):
+        return obj
+    engine = getattr(obj, "engine", None)
+    if isinstance(engine, Engine):
+        return engine
+    raise TypeError(f"expected an Engine (or object with .engine), got {obj!r}")

@@ -1,0 +1,119 @@
+"""Events: the unit of synchronization between simulated agents."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; :meth:`fire` transitions it to *fired* and
+    schedules all subscribed callbacks at the current cycle with the
+    event's value.  Subscribing to an already-fired event schedules the
+    callback immediately, so there is no fire/subscribe race.
+    """
+
+    __slots__ = ("engine", "_fired", "_value", "_callbacks")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._fired = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("event value read before fire()")
+        return self._value
+
+    def fire(self, value: Any = None) -> "Event":
+        """Mark the event as having happened, waking all waiters."""
+        if self._fired:
+            raise SimulationError("event fired twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.engine.schedule(0, lambda cb=callback: cb(self._value))
+        return self
+
+    def fire_in(self, delay: int, value: Any = None) -> "Event":
+        """Fire this event ``delay`` cycles from now."""
+        self.engine.schedule(delay, lambda: self.fire(value))
+        return self
+
+    def subscribe(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when (or if already) fired."""
+        if self._fired:
+            self.engine.schedule(0, lambda: callback(self._value))
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay — ``yield Timeout(engine, n)``."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: Engine, delay: int, value: Any = None) -> None:
+        super().__init__(engine)
+        self.fire_in(delay, value)
+
+
+class AllOf(Event):
+    """Fires once every constituent event has fired.
+
+    The value is the list of constituent values in constructor order.
+    An empty collection fires immediately (at the current cycle).
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, engine: Engine, events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        events = list(events)
+        self._values: list[Any] = [None] * len(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.fire([])
+            return
+        for index, event in enumerate(events):
+            event.subscribe(lambda value, i=index: self._one_done(i, value))
+
+    def _one_done(self, index: int, value: Any) -> None:
+        self._values[index] = value
+        self._pending -= 1
+        if self._pending == 0:
+            self.fire(list(self._values))
+
+
+class AnyOf(Event):
+    """Fires when the first constituent event fires, with ``(index, value)``."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: Engine, events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        for index, event in enumerate(events):
+            event.subscribe(lambda value, i=index: self._first(i, value))
+
+    def _first(self, index: int, value: Any) -> None:
+        if not self.fired:
+            self.fire((index, value))
+
+
+def maybe_timeout(engine: Engine, delay: int) -> Optional[Timeout]:
+    """A ``Timeout`` for positive delays, ``None`` for zero.
+
+    Lets hot paths skip the event queue entirely when a modelled latency
+    happens to be zero cycles.
+    """
+    return Timeout(engine, delay) if delay > 0 else None

@@ -1,0 +1,67 @@
+"""Generator-based processes running on the engine."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import Event
+
+ProcessGenerator = Generator[Optional[Event], Any, Any]
+
+
+class Process(Event):
+    """A simulated agent: a generator that yields events to wait on.
+
+    The process itself is an :class:`Event` that fires when the generator
+    returns, with the generator's return value — so processes can wait on
+    each other (fork/join) just by yielding a child process.
+
+    A generator may yield:
+
+    * an :class:`Event` — the process resumes when it fires, and the
+      ``yield`` expression evaluates to the event's value;
+    * ``None`` — resume later in the same cycle (a cooperative yield).
+
+    Exceptions raised inside the generator propagate out of the engine's
+    ``run()`` — architectural bugs should crash the simulation loudly, not
+    be swallowed.
+    """
+
+    __slots__ = ("generator", "name")
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: ProcessGenerator,
+        name: str = "process",
+    ) -> None:
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        self.generator = generator
+        self.name = name
+        engine.schedule(0, lambda: self._step(None))
+
+    def _step(self, value: Any) -> None:
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.fire(stop.value)
+            return
+        if target is None:
+            self.engine.schedule(0, lambda: self._step(None))
+        elif isinstance(target, Event):
+            target.subscribe(self._step)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances or None"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.fired else "running"
+        return f"Process({self.name!r}, {state})"

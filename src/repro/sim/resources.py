@@ -1,0 +1,134 @@
+"""Synchronization primitives built on events.
+
+These model the *shared* hardware resources in the simulated machine:
+
+* :class:`Resource` — a FIFO server with a fixed service occupancy; used
+  for directory-controller and memory-port occupancy modelling.
+* :class:`Barrier` — a reusable cyclic barrier; the workloads in the paper
+  are barrier-structured (code between barriers becomes transactions).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; used
+  for message queues whose consumer is a process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event, Timeout
+
+
+class Resource:
+    """A single server with FIFO queueing.
+
+    ``acquire()`` returns an event that fires when the caller holds the
+    resource; the holder must call ``release()``.  ``busy_cycles``
+    accumulates total held time, which is exactly the "occupancy" statistic
+    Table 3 of the paper reports for directories.
+    """
+
+    def __init__(self, engine: Engine, name: str = "resource") -> None:
+        self.engine = engine
+        self.name = name
+        self._held = False
+        self._waiters: deque[Event] = deque()
+        self._acquired_at = 0
+        self.busy_cycles = 0
+        self.total_acquisitions = 0
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        event = Event(self.engine)
+        if not self._held:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if not self._held:
+            raise RuntimeError(f"release of un-held resource {self.name!r}")
+        self._held = False
+        self.busy_cycles += self.engine.now - self._acquired_at
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, event: Event) -> None:
+        self._held = True
+        self._acquired_at = self.engine.now
+        self.total_acquisitions += 1
+        event.fire(self)
+
+    def use(self, cycles: int) -> Generator[Event, Any, None]:
+        """Convenience process fragment: hold the resource for ``cycles``."""
+        yield self.acquire()
+        if cycles:
+            yield Timeout(self.engine, cycles)
+        self.release()
+
+
+class Barrier:
+    """A cyclic barrier across ``parties`` processes.
+
+    ``wait()`` returns an event that fires when all parties have arrived;
+    the barrier then resets for the next phase.  Arrival/release times are
+    recorded so callers can attribute idle (load-imbalance) cycles the way
+    Figure 6/7 of the paper do.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._waiting: list[Event] = []
+        self.generations = 0
+
+    def wait(self) -> Event:
+        event = Event(self.engine)
+        self._waiting.append(event)
+        if len(self._waiting) == self.parties:
+            waiting, self._waiting = self._waiting, []
+            self.generations += 1
+            for waiter in waiting:
+                waiter.fire(self.generations)
+        return event
+
+
+class Store:
+    """Unbounded FIFO with blocking ``get`` — a message mailbox."""
+
+    def __init__(self, engine: Engine, name: str = "store") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.engine)
+        if self._items:
+            event.fire(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None

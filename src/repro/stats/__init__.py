@@ -1,0 +1,17 @@
+"""Statistics: aggregation and the paper's derived metrics.
+
+Turns raw :class:`~repro.core.system.SimulationResult` objects into the
+quantities the paper reports: execution-time breakdowns (Figures 6/7),
+speedups, Table 3 transaction characteristics (90th-percentile sizes,
+directories touched, directory occupancy, working sets), and Figure 9
+bytes-per-instruction traffic.
+"""
+
+from repro.stats.summary import (
+    AppCharacteristics,
+    characteristics,
+    percentile,
+    speedup,
+)
+
+__all__ = ["AppCharacteristics", "characteristics", "percentile", "speedup"]

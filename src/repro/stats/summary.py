@@ -1,0 +1,101 @@
+"""Derived metrics over simulation results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.system import SimulationResult
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (0..100) by linear interpolation.
+
+    Table 3 reports 90th percentiles; an empty sample list yields 0.
+    """
+    if not samples:
+        return 0.0
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def speedup(baseline: SimulationResult, parallel: SimulationResult) -> float:
+    """Execution-time speedup of ``parallel`` over ``baseline``.
+
+    The workloads must do the same total work (fixed-size scaling, as in
+    Figure 7 where everything is normalized to the 1-CPU run).
+    """
+    if parallel.cycles == 0:
+        return float("inf")
+    return baseline.cycles / parallel.cycles
+
+
+@dataclass
+class AppCharacteristics:
+    """One row of Table 3."""
+
+    name: str
+    n_processors: int
+    tx_size_p90: float          # instructions, 90th percentile
+    write_set_p90_kb: float     # KB, 90th percentile
+    read_set_p90_kb: float      # KB, 90th percentile
+    ops_per_word_written: float
+    dirs_per_commit_p90: float
+    working_set_p90_entries: float
+    occupancy_p90_cycles: float
+
+    def row(self) -> List[str]:
+        return [
+            self.name,
+            f"{self.tx_size_p90:,.0f}",
+            f"{self.write_set_p90_kb:.2f}",
+            f"{self.read_set_p90_kb:.2f}",
+            f"{self.ops_per_word_written:.0f}",
+            f"{self.dirs_per_commit_p90:.0f}",
+            f"{self.working_set_p90_entries:,.0f}",
+            f"{self.occupancy_p90_cycles:,.0f}",
+        ]
+
+
+def characteristics(name: str, result: SimulationResult) -> AppCharacteristics:
+    """Extract the Table 3 row for one application run."""
+    tx_sizes: List[int] = []
+    write_sets: List[int] = []
+    read_sets: List[int] = []
+    dirs: List[int] = []
+    total_instructions = 0
+    total_words_written = 0
+    for stats in result.proc_stats:
+        tx_sizes.extend(stats.tx_instructions)
+        write_sets.extend(stats.write_set_bytes)
+        read_sets.extend(stats.read_set_bytes)
+        dirs.extend(stats.dirs_touched)
+        total_instructions += stats.committed_instructions
+        total_words_written += sum(stats.write_set_bytes) // 4
+    occupancy: List[int] = []
+    for dstats in result.directory_stats:
+        occupancy.extend(dstats.occupancy_samples)
+    return AppCharacteristics(
+        name=name,
+        n_processors=result.config.n_processors,
+        tx_size_p90=percentile(tx_sizes, 90),
+        write_set_p90_kb=percentile(write_sets, 90) / 1024,
+        read_set_p90_kb=percentile(read_sets, 90) / 1024,
+        ops_per_word_written=(
+            total_instructions / total_words_written if total_words_written else 0.0
+        ),
+        dirs_per_commit_p90=percentile(dirs, 90),
+        working_set_p90_entries=percentile(result.directory_working_sets, 90),
+        occupancy_p90_cycles=percentile(occupancy, 90),
+    )

@@ -1,0 +1,13 @@
+"""Protocol-level event tracing and timeline visualization.
+
+Enable with ``SystemConfig(event_log=True)``: the system then records a
+structured log of protocol events (transaction boundaries, violations,
+commit phases, directory actions) that can be filtered programmatically
+or rendered as a per-processor ASCII timeline — the tool you want when
+a protocol change misbehaves.
+"""
+
+from repro.tracing.eventlog import EventLog, ProtocolEvent
+from repro.tracing.timeline import render_timeline
+
+__all__ = ["EventLog", "ProtocolEvent", "render_timeline"]

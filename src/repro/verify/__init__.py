@@ -1,0 +1,21 @@
+"""Correctness verification: serializability by serial replay.
+
+The simulator models real data values end to end precisely so this
+package can check, after every run, that the machine behaved like *some*
+serial execution — the definition of transactional correctness.
+"""
+
+from repro.verify.invariants import InvariantViolation, check_system_invariants
+from repro.verify.serializability import (
+    CommitRecord,
+    ReplayMismatch,
+    SerializabilityChecker,
+)
+
+__all__ = [
+    "CommitRecord",
+    "InvariantViolation",
+    "ReplayMismatch",
+    "SerializabilityChecker",
+    "check_system_invariants",
+]

@@ -1,0 +1,208 @@
+"""The paper's application suite as synthetic profiles.
+
+Table 3's absolute numbers are mostly destroyed by OCR, so these profiles
+are reconstructed from the prose of Section 4.2 (see DESIGN.md §6 for the
+mapping).  What matters for reproducing the evaluation *shape* is the
+relative structure:
+
+* SPECjbb2000, SVM Classify, swim, tomcatv: large transactions, a very
+  high ops-per-word-written ratio, and little or no inter-node
+  communication — these must scale near-linearly and shrug off link
+  latency.
+* barnes, water-spatial: moderate transactions with modest communication
+  — good scaling.
+* water-nsquared: like water-spatial but with more communication and
+  synchronization — scales a bit worse.
+* radix: very large transactions whose write-sets span every directory —
+  commit cost is high but fully amortized.
+* Cluster GA: genetic algorithm with skewed conflicts — violation-bound
+  at low processor counts.
+* equake: tiny transactions with heavy communication — commit time grows
+  with processor count, latency-sensitive.
+* volrend: flag communication through small transactions — the lowest
+  ops-per-word ratio, probe/commit bound, latency-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadProfile
+
+APP_PROFILES: Dict[str, WorkloadProfile] = {
+    "barnes": WorkloadProfile(
+        name="barnes",
+        total_transactions=256,
+        tx_instructions=2000,
+        reads_per_tx=10,
+        writes_per_tx=4,
+        shared_fraction=0.25,
+        write_shared_fraction=0.06,
+        hot_lines=512,
+        conflict_skew=0.8,
+        spread_pages=16,
+        barrier_every=16,
+        seed=101,
+    ),
+    "cluster_ga": WorkloadProfile(
+        name="cluster_ga",
+        total_transactions=256,
+        tx_instructions=5000,
+        reads_per_tx=12,
+        writes_per_tx=6,
+        shared_fraction=0.30,
+        write_shared_fraction=0.10,
+        hot_lines=96,
+        conflict_skew=1.1,
+        spread_pages=8,
+        barrier_every=32,
+        rmw_fraction=0.6,
+        seed=102,
+    ),
+    "equake": WorkloadProfile(
+        name="equake",
+        total_transactions=512,
+        tx_instructions=400,
+        reads_per_tx=6,
+        writes_per_tx=3,
+        shared_fraction=0.42,
+        write_shared_fraction=0.20,
+        hot_lines=768,
+        conflict_skew=0.4,
+        spread_pages=16,
+        barrier_every=32,
+        seed=103,
+    ),
+    "radix": WorkloadProfile(
+        name="radix",
+        total_transactions=192,
+        tx_instructions=30000,
+        reads_per_tx=40,
+        writes_per_tx=48,
+        shared_fraction=0.30,
+        write_shared_fraction=0.55,
+        hot_lines=16384,
+        conflict_skew=0.0,
+        spread_pages=64,
+        barrier_every=12,
+        rmw_fraction=0.05,
+        seed=104,
+    ),
+    "specjbb2000": WorkloadProfile(
+        name="specjbb2000",
+        total_transactions=256,
+        tx_instructions=5000,
+        reads_per_tx=12,
+        writes_per_tx=2,
+        shared_fraction=0.02,
+        write_shared_fraction=0.01,
+        hot_lines=1024,
+        conflict_skew=0.3,
+        spread_pages=32,
+        barrier_every=0,
+        seed=105,
+    ),
+    "svm_classify": WorkloadProfile(
+        name="svm_classify",
+        total_transactions=192,
+        tx_instructions=20000,
+        reads_per_tx=20,
+        writes_per_tx=10,
+        shared_fraction=0.15,
+        write_shared_fraction=0.02,
+        hot_lines=1024,
+        conflict_skew=0.2,
+        spread_pages=16,
+        barrier_every=12,
+        seed=106,
+    ),
+    "swim": WorkloadProfile(
+        name="swim",
+        total_transactions=128,
+        tx_instructions=45000,
+        reads_per_tx=40,
+        writes_per_tx=32,
+        shared_fraction=0.05,
+        write_shared_fraction=0.01,
+        hot_lines=2048,
+        conflict_skew=0.1,
+        spread_pages=32,
+        barrier_every=8,
+        seed=107,
+    ),
+    "tomcatv": WorkloadProfile(
+        name="tomcatv",
+        total_transactions=160,
+        tx_instructions=12000,
+        reads_per_tx=24,
+        writes_per_tx=16,
+        shared_fraction=0.08,
+        write_shared_fraction=0.02,
+        hot_lines=1024,
+        conflict_skew=0.1,
+        spread_pages=32,
+        barrier_every=8,
+        seed=108,
+    ),
+    "volrend": WorkloadProfile(
+        name="volrend",
+        total_transactions=512,
+        tx_instructions=800,
+        reads_per_tx=5,
+        writes_per_tx=4,
+        shared_fraction=0.35,
+        write_shared_fraction=0.30,
+        hot_lines=512,
+        conflict_skew=0.3,
+        spread_pages=24,
+        barrier_every=32,
+        rmw_fraction=0.2,
+        seed=109,
+    ),
+    "water_nsquared": WorkloadProfile(
+        name="water_nsquared",
+        total_transactions=256,
+        tx_instructions=5000,
+        reads_per_tx=12,
+        writes_per_tx=6,
+        shared_fraction=0.30,
+        write_shared_fraction=0.08,
+        hot_lines=512,
+        conflict_skew=0.6,
+        spread_pages=16,
+        barrier_every=16,
+        seed=110,
+    ),
+    "water_spatial": WorkloadProfile(
+        name="water_spatial",
+        total_transactions=224,
+        tx_instructions=9000,
+        reads_per_tx=14,
+        writes_per_tx=6,
+        shared_fraction=0.15,
+        write_shared_fraction=0.04,
+        hot_lines=1024,
+        conflict_skew=0.4,
+        spread_pages=16,
+        barrier_every=16,
+        seed=111,
+    ),
+}
+
+
+def app_workload(
+    name: str, scale: float = 1.0, line_size: int = 32, word_size: int = 4
+) -> SyntheticWorkload:
+    """A ready-to-run workload for one of the paper's applications.
+
+    ``scale`` multiplies the total transaction count (use < 1 for quick
+    runs, > 1 for more stable statistics).
+    """
+    if name not in APP_PROFILES:
+        raise KeyError(
+            f"unknown application {name!r}; choose from {sorted(APP_PROFILES)}"
+        )
+    profile = APP_PROFILES[name]
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return SyntheticWorkload(profile, line_size=line_size, word_size=word_size)

@@ -1,0 +1,164 @@
+"""Parameterized synthetic transactional workloads.
+
+This is the substitution for the paper's benchmark binaries: a generator
+that produces transaction schedules whose statistics match a target
+profile.  The knobs correspond directly to the per-application
+characteristics of Table 3 and the behavioural notes of Section 4.2:
+
+* ``tx_instructions``          — mean non-memory work per transaction
+  (CPI=1, so cycles == instructions);
+* ``reads_per_tx`` / ``writes_per_tx`` — read-/write-set sizes;
+* ``shared_fraction``          — how many reads hit the shared pool
+  (communication);
+* ``write_shared_fraction``    — how many writes hit the shared pool
+  (true conflicts + commit invalidation traffic);
+* ``hot_lines`` / ``conflict_skew`` — size and skew of the shared pool:
+  small, skewed pools produce frequent violations;
+* ``spread_pages``             — over how many pages the shared pool is
+  scattered (≈ directories touched per commit);
+* ``barrier_every``            — transactions between barriers (load
+  imbalance and idle time);
+* ``rmw_fraction``             — fraction of shared writes that are
+  data-dependent read-modify-writes.
+
+The *total* transaction count is fixed; processors split it evenly, so
+speedup measurements against the 1-processor run are meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Sequence
+
+from repro.workloads.base import BARRIER, Transaction, Workload
+
+PAGE = 4096
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical shape of one application's transactions."""
+
+    name: str
+    total_transactions: int = 256
+    tx_instructions: int = 1000
+    tx_instructions_cv: float = 0.3  # coefficient of variation
+    reads_per_tx: int = 8
+    writes_per_tx: int = 4
+    shared_fraction: float = 0.2
+    write_shared_fraction: float = 0.1
+    hot_lines: int = 256
+    conflict_skew: float = 1.0  # zipf exponent over the shared pool
+    spread_pages: int = 8
+    private_lines: int = 256
+    barrier_every: int = 0
+    rmw_fraction: float = 0.5
+    seed: int = 42
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """Same shape, different total volume (for quick test runs)."""
+        return replace(
+            self,
+            total_transactions=max(1, int(self.total_transactions * factor)),
+        )
+
+
+class SyntheticWorkload(Workload):
+    """Generates deterministic schedules matching a profile."""
+
+    def __init__(self, profile: WorkloadProfile, line_size: int = 32, word_size: int = 4):
+        self.profile = profile
+        self.line_size = line_size
+        self.word_size = word_size
+        self.words_per_line = line_size // word_size
+        self.name = profile.name
+        # Shared pool layout: hot lines scattered over spread_pages pages,
+        # starting high enough to avoid private regions.
+        self._shared_base = 1 << 28
+        self._zipf_weights = self._make_zipf(profile.hot_lines, profile.conflict_skew)
+
+    @staticmethod
+    def _make_zipf(n: int, skew: float) -> List[float]:
+        weights = [1.0 / (i + 1) ** skew for i in range(n)]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    # -- address helpers --------------------------------------------------
+
+    def shared_addr(self, hot_index: int, rng: random.Random) -> int:
+        page = hot_index % self.profile.spread_pages
+        line_in_page = hot_index // self.profile.spread_pages
+        base = self._shared_base + page * PAGE + line_in_page * self.line_size
+        word = rng.randrange(self.words_per_line)
+        return base + word * self.word_size
+
+    def private_addr(self, proc: int, rng: random.Random) -> int:
+        base = (1 + proc) * (1 << 22)
+        line = rng.randrange(self.profile.private_lines)
+        word = rng.randrange(self.words_per_line)
+        return base + line * self.line_size + word * self.word_size
+
+    def _pick_hot(self, rng: random.Random) -> int:
+        return rng.choices(range(self.profile.hot_lines), weights=self._zipf_weights)[0]
+
+    # -- schedule generation ------------------------------------------------
+
+    def tx_count_for(self, proc: int, n_procs: int) -> int:
+        total = self.profile.total_transactions
+        return total // n_procs + (1 if proc < total % n_procs else 0)
+
+    def schedule(self, proc: int, n_procs: int) -> Iterator:
+        profile = self.profile
+        rng = random.Random(profile.seed * 1_000_003 + proc)
+        count = self.tx_count_for(proc, n_procs)
+        max_count = self.tx_count_for(0, n_procs)
+        since_barrier = 0
+        for i in range(count):
+            yield self._make_tx(proc, i, rng)
+            since_barrier += 1
+            if profile.barrier_every and since_barrier >= profile.barrier_every:
+                since_barrier = 0
+                yield BARRIER
+        if profile.barrier_every:
+            # Processors with fewer transactions still join every barrier.
+            barriers_emitted = count // profile.barrier_every
+            total_barriers = max_count // profile.barrier_every
+            for _ in range(total_barriers - barriers_emitted):
+                yield BARRIER
+
+    def _make_tx(self, proc: int, index: int, rng: random.Random) -> Transaction:
+        profile = self.profile
+        sigma = max(1.0, profile.tx_instructions * profile.tx_instructions_cv)
+        compute = max(10, int(rng.gauss(profile.tx_instructions, sigma)))
+
+        ops: List = []
+        accesses: List = []
+        for _ in range(profile.reads_per_tx):
+            if rng.random() < profile.shared_fraction:
+                accesses.append(("ld", self.shared_addr(self._pick_hot(rng), rng)))
+            else:
+                accesses.append(("ld", self.private_addr(proc, rng)))
+        for w in range(profile.writes_per_tx):
+            if rng.random() < profile.write_shared_fraction:
+                addr = self.shared_addr(self._pick_hot(rng), rng)
+                if rng.random() < profile.rmw_fraction:
+                    accesses.append(("add", addr, 1))
+                else:
+                    accesses.append(("st", addr, rng.randrange(1, 1 << 16)))
+            else:
+                addr = self.private_addr(proc, rng)
+                accesses.append(("st", addr, rng.randrange(1, 1 << 16)))
+        rng.shuffle(accesses)
+
+        # Interleave the compute between the memory accesses.
+        slices = len(accesses) + 1
+        chunk = compute // slices
+        remainder = compute - chunk * (slices - 1)
+        for access in accesses:
+            if chunk:
+                ops.append(("c", chunk))
+            ops.append(access)
+        ops.append(("c", max(1, remainder)))
+        return Transaction(proc * 1_000_000 + index, ops, label=profile.name)

@@ -1,0 +1,106 @@
+"""Trace-file workloads: save and load transaction schedules as JSON.
+
+Lets users bring their own workloads (e.g. extracted from real program
+traces) and makes any generated schedule reproducible as an artefact:
+
+    from repro.workloads import SyntheticWorkload, trace
+
+    wl = app_workload("barnes", scale=0.1)
+    trace.save_trace("barnes.json", wl, n_procs=8)
+    replay = trace.TraceWorkload.load("barnes.json")
+    system.run(replay)
+
+Format (versioned):
+
+    {
+      "version": 1,
+      "n_procs": 8,
+      "name": "barnes",
+      "schedules": [                  # one list per processor
+        [ {"tx": 123, "label": "...",
+           "ops": [["c", 100], ["ld", 4096], ["st", 8192, 7],
+                   ["add", 4096, 1]]},
+          "BARRIER",
+          ... ],
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.workloads.base import BARRIER, Transaction, Workload
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """The trace file is malformed or from an unknown version."""
+
+
+def _encode_item(item) -> Any:
+    if item is BARRIER:
+        return "BARRIER"
+    return {
+        "tx": item.tx_id,
+        "label": item.label,
+        "ops": [list(op) for op in item.ops],
+    }
+
+
+def _decode_item(raw) -> Any:
+    if raw == "BARRIER":
+        return BARRIER
+    if not isinstance(raw, dict) or "tx" not in raw or "ops" not in raw:
+        raise TraceFormatError(f"bad schedule item: {raw!r}")
+    ops = [tuple(op) for op in raw["ops"]]
+    return Transaction(int(raw["tx"]), ops, label=raw.get("label", ""))
+
+
+def save_trace(path: str, workload: Workload, n_procs: int,
+               name: str = "") -> None:
+    """Materialize ``workload`` for ``n_procs`` processors into a file."""
+    schedules = [
+        [_encode_item(item) for item in workload.schedule(proc, n_procs)]
+        for proc in range(n_procs)
+    ]
+    document = {
+        "version": FORMAT_VERSION,
+        "n_procs": n_procs,
+        "name": name or getattr(workload, "name", "trace"),
+        "schedules": schedules,
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+
+
+class TraceWorkload(Workload):
+    """A workload replayed from a saved trace."""
+
+    def __init__(self, document: Dict) -> None:
+        if document.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {document.get('version')!r}"
+            )
+        self.name = document.get("name", "trace")
+        self.n_procs = int(document["n_procs"])
+        self._schedules: List[List[Any]] = [
+            [_decode_item(raw) for raw in schedule]
+            for schedule in document["schedules"]
+        ]
+
+    @classmethod
+    def load(cls, path: str) -> "TraceWorkload":
+        with open(path) as handle:
+            return cls(json.load(handle))
+
+    def schedule(self, proc: int, n_procs: int):
+        if n_procs != self.n_procs:
+            raise ValueError(
+                f"trace was recorded for {self.n_procs} processors, "
+                f"system has {n_procs}"
+            )
+        return iter(self._schedules[proc])

@@ -1,0 +1,120 @@
+"""Tests for the analytical conflict model, including model-vs-simulation
+directional agreement."""
+
+import random
+
+import pytest
+
+from repro import ScalableTCCSystem, SystemConfig, Transaction
+from repro.analysis.model import (
+    ConflictModel,
+    overlap_probability,
+    violation_probability,
+)
+from repro.workloads.base import Workload
+
+
+class TestOverlapProbability:
+    def test_zero_writes_or_reads(self):
+        assert overlap_probability(100, 0, 10) == 0.0
+        assert overlap_probability(100, 10, 0) == 0.0
+
+    def test_full_pool_write_always_overlaps(self):
+        assert overlap_probability(10, 10, 1) == pytest.approx(1.0)
+
+    def test_single_word_each(self):
+        assert overlap_probability(100, 1, 1) == pytest.approx(0.01)
+
+    def test_monotone_in_writes(self):
+        probs = [overlap_probability(256, w, 8) for w in (1, 4, 16, 64)]
+        assert probs == sorted(probs)
+        assert probs[-1] > probs[0]
+
+    def test_monotone_in_reads(self):
+        probs = [overlap_probability(256, 8, r) for r in (1, 4, 16, 64)]
+        assert probs == sorted(probs)
+
+    def test_approximation_formula_close_for_small_sets(self):
+        exact = overlap_probability(1000, 5, 8)
+        approx = 1 - (1 - 5 / 1000) ** 8
+        assert exact == pytest.approx(approx, rel=0.02)
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_probability(0, 1, 1)
+
+
+class TestViolationProbability:
+    def test_no_rivals_no_violations(self):
+        assert violation_probability(100, 5, 5, 0) == 0.0
+
+    def test_monotone_in_rivals(self):
+        probs = [violation_probability(100, 4, 4, k) for k in (1, 3, 7, 15)]
+        assert probs == sorted(probs)
+
+    def test_negative_rivals_rejected(self):
+        with pytest.raises(ValueError):
+            violation_probability(100, 1, 1, -1)
+
+
+class _Uniform(Workload):
+    """Symmetric uniform-pool RMW workload matching the model."""
+
+    def __init__(self, pool_words, reads, writes, per_proc, seed=0):
+        self.pool_words = pool_words
+        self.reads = reads
+        self.writes = writes
+        self.per_proc = per_proc
+        self.seed = seed
+        self.base = 1 << 26
+
+    def addr(self, word):
+        return self.base + word * 4
+
+    def schedule(self, proc, n_procs):
+        rng = random.Random(self.seed * 6007 + proc)
+        for i in range(self.per_proc):
+            ops = [("c", 60)]
+            for word in rng.sample(range(self.pool_words), self.reads):
+                ops.append(("ld", self.addr(word)))
+            for word in rng.sample(range(self.pool_words), self.writes):
+                ops.append(("st", self.addr(word), rng.randrange(1, 999)))
+            yield Transaction(proc * 10_000 + i, ops)
+
+
+class TestModelVsSimulation:
+    @staticmethod
+    def simulate(pool_words, reads, writes, n=8, per_proc=10, seed=1):
+        system = ScalableTCCSystem(SystemConfig(n_processors=n, seed=seed))
+        workload = _Uniform(pool_words, reads, writes, per_proc, seed)
+        result = system.run(workload, max_cycles=500_000_000)
+        attempts = result.committed_transactions + result.total_violations
+        return result.total_violations / attempts
+
+    def test_model_ranks_contention_like_the_simulator(self):
+        """Across low/medium/high-contention pools, the model and the
+        simulator must agree on the ordering."""
+        settings = [
+            (2048, 4, 2),   # low contention
+            (256, 6, 4),    # medium
+            (48, 8, 6),     # high
+        ]
+        simulated = [self.simulate(*s) for s in settings]
+        modeled = [
+            ConflictModel(pool, reads=r, writes=w).violation_rate(8)
+            for pool, r, w in settings
+        ]
+        assert simulated == sorted(simulated)
+        assert modeled == sorted(modeled)
+        # high-contention point shows substantial violation rates in both
+        assert simulated[-1] > 0.15
+        assert modeled[-1] > 0.15
+        # low-contention point is quiet in both
+        assert simulated[0] < 0.25
+        assert modeled[0] < 0.25
+
+    def test_expected_attempts(self):
+        model = ConflictModel(pool_words=64, reads=8, writes=6)
+        assert model.expected_attempts(8) > 1.5
+        quiet = ConflictModel(pool_words=100_000, reads=4, writes=2)
+        assert quiet.expected_attempts(8) == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list_apps(capsys):
+    code, out = run_cli(capsys, "list-apps")
+    assert code == 0
+    assert "specjbb2000" in out
+    assert "swim" in out
+    assert out.count("\n") >= 12
+
+
+def test_describe(capsys):
+    code, out = run_cli(capsys, "describe", "-n", "32")
+    assert code == 0
+    assert "32 single-issue cores" in out
+    assert "2D grid" in out
+
+
+def test_run_small(capsys):
+    code, out = run_cli(capsys, "run", "barnes", "-n", "4", "--scale", "0.1")
+    assert code == 0
+    assert "barnes @ 4 CPUs" in out
+    assert "cycles" in out
+    assert "breakdown" in out
+    assert "B/instr" in out
+
+
+def test_run_with_tape(capsys):
+    code, out = run_cli(
+        capsys, "run", "cluster_ga", "-n", "4", "--scale", "0.1", "--tape"
+    )
+    assert code == 0
+    assert "TAPE report" in out
+
+
+def test_run_token_backend(capsys):
+    code, out = run_cli(
+        capsys, "run", "barnes", "-n", "4", "--scale", "0.1",
+        "--backend", "token",
+    )
+    assert code == 0
+    assert "token commit" in out
+
+
+def test_scaling(capsys):
+    code, out = run_cli(
+        capsys, "scaling", "barnes", "--counts", "1,4", "--scale", "0.1"
+    )
+    assert code == 0
+    assert "barnes@1" in out
+    assert "barnes@4" in out
+    assert "speedup" in out
+
+
+def test_latency(capsys):
+    code, out = run_cli(
+        capsys, "latency", "equake", "-n", "4", "--scale", "0.1",
+        "--hops", "1,6",
+    )
+    assert code == 0
+    assert "1 cy/hop" in out
+    assert "6 cy/hop" in out
+    assert "slowdown" in out
+
+
+def test_traffic(capsys):
+    code, out = run_cli(capsys, "traffic", "swim", "-n", "4", "--scale", "0.1")
+    assert code == 0
+    assert "B/instr" in out
+
+
+def test_unknown_app_exits_with_message(capsys):
+    with pytest.raises(SystemExit, match="unknown application"):
+        main(["run", "doom"])
+
+
+def test_bad_count_list_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["scaling", "barnes", "--counts", "1,x"])

@@ -1,0 +1,81 @@
+"""Tests for coarse sharer-vector directories."""
+
+import pytest
+
+from repro import ScalableTCCSystem, SystemConfig, Transaction
+from repro.workloads import CounterWorkload
+from repro.workloads.base import Workload
+
+
+class Scripted(Workload):
+    def __init__(self, schedules):
+        self.schedules = schedules
+
+    def schedule(self, proc, n_procs):
+        return iter(self.schedules[proc])
+
+
+def test_group_size_one_is_exact():
+    system = ScalableTCCSystem(SystemConfig(n_processors=4))
+    entry = system.directories[0].state.entry(0)
+    entry.sharers = {1, 3}
+    assert system.directories[0]._invalidation_targets(entry) == {1, 3}
+
+
+def test_group_expansion():
+    system = ScalableTCCSystem(
+        SystemConfig(n_processors=8, sharer_group_size=4)
+    )
+    entry = system.directories[0].state.entry(0)
+    entry.sharers = {1}
+    assert system.directories[0]._invalidation_targets(entry) == {0, 1, 2, 3}
+    entry.sharers = {1, 6}
+    assert system.directories[0]._invalidation_targets(entry) == set(range(8))
+
+
+def test_group_clipped_at_processor_count():
+    system = ScalableTCCSystem(
+        SystemConfig(n_processors=6, sharer_group_size=4)
+    )
+    entry = system.directories[0].state.entry(0)
+    entry.sharers = {5}
+    assert system.directories[0]._invalidation_targets(entry) == {4, 5}
+
+
+def test_invalid_group_size_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(sharer_group_size=0)
+
+
+def test_coarse_vector_sends_more_invalidations():
+    def run(group):
+        system = ScalableTCCSystem(
+            SystemConfig(n_processors=8, sharer_group_size=group,
+                         ordered_network=True)
+        )
+        # One reader per group; one writer commits the line repeatedly.
+        schedules = [[] for _ in range(8)]
+        schedules[4] = [Transaction(1, [("ld", 0)])]  # reader in group 1
+        schedules[0] = [
+            Transaction(10 + i, [("c", 500), ("st", 0, i)]) for i in range(3)
+        ]
+        result = system.run(Scripted(schedules), max_cycles=50_000_000)
+        return sum(d.stats.invalidations_sent for d in system.directories)
+
+    exact = run(1)
+    coarse = run(4)
+    assert coarse > exact
+
+
+def test_coarse_vector_remains_correct():
+    for group in (1, 2, 8):
+        wl = CounterWorkload(n_counters=2, increments_per_proc=6)
+        system = ScalableTCCSystem(
+            SystemConfig(n_processors=8, sharer_group_size=group)
+        )
+        result = system.run(wl, max_cycles=100_000_000)
+        total = sum(
+            result.memory_image.get(wl.counter_addr(i) // 32, [0] * 8)[0]
+            for i in range(2)
+        )
+        assert total == wl.expected_total(8)

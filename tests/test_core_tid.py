@@ -1,0 +1,71 @@
+"""Unit tests for the gap-free TID vendor."""
+
+import pytest
+
+from repro.core import TidVendor
+
+
+def test_tids_start_at_one_and_increase():
+    vendor = TidVendor()
+    assert vendor.next_tid(0) == 1
+    assert vendor.next_tid(3) == 2
+    assert vendor.next_tid(0) == 3
+
+
+def test_issued_counter_and_outstanding():
+    vendor = TidVendor()
+    vendor.next_tid(5)
+    vendor.next_tid(6)
+    assert vendor.issued == 2
+    assert vendor.outstanding == {1: 5, 2: 6}
+
+
+def test_resolve_clears_outstanding():
+    vendor = TidVendor()
+    tid = vendor.next_tid(0)
+    vendor.resolve(tid)
+    assert vendor.outstanding == {}
+
+
+def test_double_resolve_rejected():
+    vendor = TidVendor()
+    tid = vendor.next_tid(0)
+    vendor.resolve(tid)
+    with pytest.raises(ValueError):
+        vendor.resolve(tid)
+
+
+def test_resolve_of_unissued_rejected():
+    with pytest.raises(ValueError):
+        TidVendor().resolve(7)
+
+
+def test_check_all_resolved_passes_when_clean():
+    vendor = TidVendor()
+    for _ in range(5):
+        vendor.resolve(vendor.next_tid(0))
+    vendor.check_all_resolved()
+
+
+def test_check_all_resolved_detects_leak():
+    vendor = TidVendor()
+    vendor.next_tid(0)
+    with pytest.raises(AssertionError, match="unresolved"):
+        vendor.check_all_resolved()
+
+
+def test_out_of_order_resolution_is_fine():
+    vendor = TidVendor()
+    t1 = vendor.next_tid(0)
+    t2 = vendor.next_tid(1)
+    vendor.resolve(t2)
+    vendor.resolve(t1)
+    vendor.check_all_resolved()
+
+
+def test_highest_issued():
+    vendor = TidVendor()
+    assert vendor.highest_issued == 0
+    vendor.next_tid(0)
+    vendor.next_tid(0)
+    assert vendor.highest_issued == 2

@@ -1,0 +1,339 @@
+"""Unit tests driving one DirectoryController directly.
+
+The rig puts the directory under test on node 0 of a 4-node mesh;
+nodes 1-3 are recorders that capture every message the directory sends
+them.  Tests inject protocol messages and assert on the directory's
+replies and state transitions.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core import messages as m
+from repro.core.config import SystemConfig
+from repro.directory.controller import DirectoryController, ProtocolError
+from repro.memory import AddressMap, MainMemory
+from repro.network import Interconnect
+from repro.sim import Engine
+
+
+class Rig:
+    def __init__(self, **config_kwargs):
+        config_kwargs.setdefault("n_processors", 4)
+        config_kwargs.setdefault("ordered_network", True)
+        self.config = SystemConfig(**config_kwargs)
+        self.engine = Engine()
+        self.amap = AddressMap(self.config.line_size, self.config.word_size)
+        self.network = Interconnect(
+            self.engine, 4, ordered=True, link_bytes_per_cycle=None
+        )
+        self.memory = MainMemory(self.amap)
+        self.dir = DirectoryController(
+            0, self.engine, self.network, self.memory, self.amap, self.config
+        )
+        self.received = defaultdict(list)
+        self.network.register(0, lambda pkt: self.dir.deliver(pkt.payload))
+        for node in (1, 2, 3):
+            self.network.register(
+                node, lambda pkt, n=node: self.received[n].append(pkt.payload)
+            )
+
+    def send(self, src, msg):
+        self.network.send(src, 0, msg, msg.payload_bytes, msg.traffic_class)
+
+    def run(self):
+        self.engine.run()
+
+    def of_type(self, node, cls):
+        return [msg for msg in self.received[node] if isinstance(msg, cls)]
+
+
+@pytest.fixture
+def rig():
+    return Rig()
+
+
+def test_load_serves_memory_and_registers_sharer(rig):
+    rig.memory.write_line(7, list(range(8)))
+    rig.send(1, m.LoadRequest(requester=1, line=7, seq=1))
+    rig.run()
+    replies = rig.of_type(1, m.LoadReply)
+    assert len(replies) == 1
+    assert replies[0].data == list(range(8))
+    assert replies[0].seq == 1
+    assert 1 in rig.dir.state.entry(7).sharers
+    assert rig.dir.stats.loads_served == 1
+
+
+def test_load_reply_delayed_by_memory_latency(rig):
+    rig.send(1, m.LoadRequest(requester=1, line=7, seq=1))
+    rig.run()
+    # directory latency (10) + memory latency (100) must both be paid
+    assert rig.engine.now >= rig.config.memory_latency + rig.config.directory_latency
+
+
+def test_skip_advances_nstid(rig):
+    rig.send(1, m.SkipMsg(tid=1))
+    rig.run()
+    assert rig.dir.nstid == 2
+    assert rig.dir.stats.skips_processed == 1
+
+
+def test_probe_answered_immediately_when_served(rig):
+    rig.send(1, m.ProbeRequest(requester=1, tid=1, writing=True))
+    rig.run()
+    replies = rig.of_type(1, m.ProbeReply)
+    assert len(replies) == 1
+    assert replies[0].nstid == 1
+
+
+def test_probe_deferred_until_nstid_reaches_tid(rig):
+    rig.send(1, m.ProbeRequest(requester=1, tid=3, writing=False))
+    rig.run()
+    assert rig.of_type(1, m.ProbeReply) == []
+    rig.send(2, m.SkipMsg(tid=1))
+    rig.send(2, m.SkipMsg(tid=2))
+    rig.run()
+    replies = rig.of_type(1, m.ProbeReply)
+    assert len(replies) == 1
+    assert replies[0].nstid == 3
+
+
+def test_mark_sets_state_and_acks(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b11}))
+    rig.run()
+    entry = rig.dir.state.entry(5)
+    assert entry.marked
+    assert entry.marked_words == 0b11
+    assert entry.marked_by == 1
+    assert len(rig.of_type(1, m.MarkAck)) == 1
+
+
+def test_mark_for_wrong_tid_is_protocol_error(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=5, lines={5: 1}))
+    with pytest.raises(ProtocolError):
+        rig.run()
+
+
+def test_commit_without_sharers_completes_immediately(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    rig.run()
+    entry = rig.dir.state.entry(5)
+    assert entry.owner == 1
+    assert entry.tid_tag == 1
+    assert not entry.marked
+    assert rig.dir.nstid == 2
+    assert len(rig.of_type(1, m.CommitAck)) == 1
+    assert rig.dir.stats.commits_served == 1
+
+
+def test_commit_invalidates_sharers_and_waits_for_acks(rig):
+    # nodes 2 and 3 read line 5 first
+    for node in (2, 3):
+        rig.send(node, m.LoadRequest(requester=node, line=5, seq=1))
+    rig.run()
+    rig.send(1, m.LoadRequest(requester=1, line=5, seq=1))
+    rig.run()
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    rig.run()
+    # invalidations to 2 and 3, none to the committer
+    assert len(rig.of_type(2, m.Invalidation)) == 1
+    assert len(rig.of_type(3, m.Invalidation)) == 1
+    assert rig.of_type(1, m.Invalidation) == []
+    # no acks yet: commit incomplete, NSTID unchanged
+    assert rig.dir.nstid == 1
+    assert rig.of_type(1, m.CommitAck) == []
+    rig.send(2, m.InvAck(sharer=2, line=5, tid=1))
+    rig.run()
+    assert rig.dir.nstid == 1
+    rig.send(3, m.InvAck(sharer=3, line=5, tid=1))
+    rig.run()
+    assert rig.dir.nstid == 2
+    assert len(rig.of_type(1, m.CommitAck)) == 1
+
+
+def test_word_granularity_keeps_invalidated_sharers(rig):
+    rig.send(2, m.LoadRequest(requester=2, line=5, seq=1))
+    rig.run()
+    rig.send(1, m.LoadRequest(requester=1, line=5, seq=1))
+    rig.run()
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    rig.run()
+    rig.send(2, m.InvAck(sharer=2, line=5, tid=1))
+    rig.run()
+    assert rig.dir.state.entry(5).sharers == {1, 2}
+
+
+def test_line_granularity_clears_invalidated_sharers():
+    rig = Rig(granularity="line")
+    rig.send(2, m.LoadRequest(requester=2, line=5, seq=1))
+    rig.run()
+    rig.send(1, m.LoadRequest(requester=1, line=5, seq=1))
+    rig.run()
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0xFF}))
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    rig.run()
+    rig.send(2, m.InvAck(sharer=2, line=5, tid=1))
+    rig.run()
+    assert rig.dir.state.entry(5).sharers == {1}
+
+
+def test_inv_ack_with_writeback_merges_before_ownership_moves(rig):
+    # Node 2 owns line 5 from an earlier commit.
+    rig.send(2, m.MarkMsg(committer=2, tid=1, lines={5: 0b1}))
+    rig.send(2, m.CommitMsg(committer=2, tid=1))
+    rig.run()
+    assert rig.dir.state.entry(5).owner == 2
+    # Node 1 loads (forwarded), node 2 flushes, node 1 commits a new value.
+    rig.send(1, m.LoadRequest(requester=1, line=5, seq=1))
+    rig.run()
+    assert len(rig.of_type(2, m.FlushRequest)) == 1
+    rig.send(2, m.WriteBackMsg(writer=2, line=5, words={0: 42}, tid=1, remove=False))
+    rig.run()
+    assert rig.memory.read_word(5, 0) == 42
+    assert rig.of_type(1, m.LoadReply)[0].data[0] == 42
+    rig.send(1, m.MarkMsg(committer=1, tid=2, lines={5: 0b10}))
+    rig.send(1, m.CommitMsg(committer=1, tid=2))
+    rig.run()
+    # Node 2 (previous owner, still sharer) gets the invalidation and
+    # rides its surviving word back on the ack.
+    assert len(rig.of_type(2, m.Invalidation)) == 1
+    rig.send(2, m.InvAck(sharer=2, line=5, tid=2, wb_words={3: 99}, wb_tid=1))
+    rig.run()
+    assert rig.memory.read_word(5, 3) == 99
+    assert rig.dir.state.entry(5).owner == 1
+
+
+def test_load_to_marked_line_stalls_until_commit(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.run()
+    rig.send(2, m.LoadRequest(requester=2, line=5, seq=7))
+    rig.run()
+    assert rig.of_type(2, m.LoadReply) == []
+    assert rig.dir.stats.loads_stalled == 1
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    rig.run()
+    # After the commit the stalled load is forwarded to the new owner.
+    assert len(rig.of_type(1, m.FlushRequest)) == 1
+
+
+def test_load_to_marked_line_released_by_abort(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.run()
+    rig.send(2, m.LoadRequest(requester=2, line=5, seq=7))
+    rig.run()
+    rig.send(1, m.AbortMsg(committer=1, tid=1))
+    rig.run()
+    assert not rig.dir.state.entry(5).marked
+    assert len(rig.of_type(2, m.LoadReply)) == 1
+    assert rig.dir.nstid == 2  # abort counts as a skip
+    assert rig.dir.stats.aborts_served == 1
+
+
+def test_retaining_abort_clears_marks_but_holds_nstid(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.run()
+    rig.send(1, m.AbortMsg(committer=1, tid=1, retain=True))
+    rig.run()
+    assert not rig.dir.state.entry(5).marked
+    assert rig.dir.nstid == 1  # still waiting for TID 1
+
+
+def test_owned_line_load_forwards_once_for_many_requesters(rig):
+    rig.send(2, m.MarkMsg(committer=2, tid=1, lines={5: 0b1}))
+    rig.send(2, m.CommitMsg(committer=2, tid=1))
+    rig.run()
+    rig.send(1, m.LoadRequest(requester=1, line=5, seq=1))
+    rig.send(3, m.LoadRequest(requester=3, line=5, seq=1))
+    rig.run()
+    assert len(rig.of_type(2, m.FlushRequest)) == 1
+    assert rig.dir.stats.loads_forwarded == 2
+    rig.send(2, m.WriteBackMsg(writer=2, line=5, words={0: 8}, tid=1, remove=False))
+    rig.run()
+    assert len(rig.of_type(1, m.LoadReply)) == 1
+    assert len(rig.of_type(3, m.LoadReply)) == 1
+
+
+def test_stale_writeback_dropped_by_tid_tag(rig):
+    rig.send(2, m.MarkMsg(committer=2, tid=1, lines={5: 0b1}))
+    rig.send(2, m.CommitMsg(committer=2, tid=1))
+    rig.run()
+    rig.send(2, m.SkipMsg(tid=2))  # advance for the next commit
+    rig.send(3, m.LoadRequest(requester=3, line=5, seq=1))
+    rig.run()
+    rig.send(2, m.WriteBackMsg(writer=2, line=5, words={0: 1}, tid=1, remove=False))
+    rig.run()
+    rig.send(3, m.MarkMsg(committer=3, tid=3, lines={5: 0b1}))
+    rig.send(3, m.CommitMsg(committer=3, tid=3))
+    rig.run()
+    rig.send(2, m.InvAck(sharer=2, line=5, tid=3))
+    rig.run()
+    assert rig.dir.state.entry(5).owner == 3
+    # A write-back tagged with the old TID arrives late: dropped.
+    rig.send(2, m.WriteBackMsg(writer=2, line=5, words={0: 666}, tid=1, remove=True))
+    rig.run()
+    assert rig.memory.read_word(5, 0) != 666
+    assert rig.dir.stats.writebacks_dropped == 1
+
+
+def test_writeback_from_non_owner_dropped(rig):
+    rig.send(1, m.WriteBackMsg(writer=1, line=5, words={0: 9}, tid=1, remove=True))
+    rig.run()
+    assert rig.memory.read_word(5, 0) == 0
+    assert rig.dir.stats.writebacks_dropped == 1
+
+
+def test_commit_from_wrong_tid_is_protocol_error(rig):
+    rig.send(1, m.CommitMsg(committer=1, tid=4))
+    with pytest.raises(ProtocolError):
+        rig.run()
+
+
+def test_commit_with_no_marks_is_protocol_error(rig):
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    with pytest.raises(ProtocolError):
+        rig.run()
+
+
+def test_skip_vector_buffers_out_of_order_skips(rig):
+    for tid in (4, 2, 3):
+        rig.send(1, m.SkipMsg(tid=tid))
+    rig.run()
+    assert rig.dir.nstid == 1
+    rig.send(1, m.SkipMsg(tid=1))
+    rig.run()
+    assert rig.dir.nstid == 5
+
+
+def test_token_write_updates_memory_and_acks(rig):
+    rig.send(1, m.TokenWrite(committer=1, tid=1, lines={5: {0: 11, 2: 22}}))
+    rig.run()
+    assert rig.memory.read_word(5, 0) == 11
+    assert rig.memory.read_word(5, 2) == 22
+    assert rig.dir.state.entry(5).tid_tag == 1
+    assert len(rig.of_type(1, m.TokenWriteAck)) == 1
+
+
+def test_occupancy_sample_recorded_per_commit(rig):
+    rig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}))
+    rig.send(1, m.CommitMsg(committer=1, tid=1))
+    rig.run()
+    assert len(rig.dir.stats.occupancy_samples) == 1
+    assert rig.dir.stats.occupancy_samples[0] >= 0
+
+
+def test_quiescent_check_flags_pending_state(rig):
+    rig.send(1, m.ProbeRequest(requester=1, tid=9, writing=False))
+    rig.run()
+    with pytest.raises(ProtocolError, match="pending probes"):
+        rig.dir.quiescent_check()
+
+
+def test_quiescent_check_passes_when_clean(rig):
+    rig.send(1, m.SkipMsg(tid=1))
+    rig.run()
+    rig.dir.quiescent_check()

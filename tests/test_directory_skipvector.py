@@ -1,0 +1,96 @@
+"""Unit tests for the Skip Vector (Figure 5 of the paper)."""
+
+from repro.directory import SkipVector
+
+
+def test_initial_nstid():
+    assert SkipVector().nstid == 1
+    assert SkipVector(first_tid=5).nstid == 5
+
+
+def test_skip_of_current_tid_advances():
+    sv = SkipVector()
+    assert sv.skip(1) == 1
+    assert sv.nstid == 2
+
+
+def test_skip_of_future_tid_buffers():
+    sv = SkipVector()
+    assert sv.skip(3) == 0
+    assert sv.nstid == 1
+    assert sv.is_skipped(3)
+
+
+def test_consecutive_skips_drain_together():
+    sv = SkipVector()
+    sv.skip(2)
+    sv.skip(3)
+    sv.skip(4)
+    assert sv.nstid == 1
+    advanced = sv.skip(1)
+    assert advanced == 4
+    assert sv.nstid == 5
+
+
+def test_figure5_scenario():
+    """The exact sequence from Figure 5: serving 10, skips for 12,13,14
+    buffered; completing 10 advances to 11; skipping 11 drains to 15."""
+    sv = SkipVector(first_tid=10)
+    sv.skip(12)
+    sv.skip(13)
+    sv.skip(14)
+    assert sv.nstid == 10
+    assert sv.complete_current() == 1
+    assert sv.nstid == 11
+    assert sv.skip(11) == 4
+    assert sv.nstid == 15
+
+
+def test_stale_skip_ignored():
+    sv = SkipVector()
+    sv.skip(1)
+    assert sv.skip(1) == 0
+    assert sv.stale_skips == 1
+    assert sv.nstid == 2
+
+
+def test_duplicate_future_skip_idempotent():
+    sv = SkipVector()
+    sv.skip(3)
+    sv.skip(3)
+    sv.skip(2)
+    assert sv.skip(1) == 3
+    assert sv.nstid == 4
+
+
+def test_complete_current_with_gap_stops():
+    sv = SkipVector()
+    sv.skip(4)  # gap at 2 and 3
+    assert sv.complete_current() == 1
+    assert sv.nstid == 2
+
+
+def test_skips_received_counter():
+    sv = SkipVector()
+    sv.skip(2)
+    sv.skip(3)
+    sv.skip(1)
+    assert sv.skips_received == 3
+
+
+def test_max_width_tracks_hardware_sizing():
+    sv = SkipVector()
+    sv.skip(65)
+    assert sv.max_width == 65
+
+
+def test_long_random_sequence_ends_gap_free():
+    import random
+
+    rng = random.Random(42)
+    sv = SkipVector()
+    tids = list(range(1, 201))
+    rng.shuffle(tids)
+    for tid in tids:
+        sv.skip(tid)
+    assert sv.nstid == 201

@@ -1,0 +1,78 @@
+"""Integration smoke tests: every application profile runs end-to-end.
+
+Each run is serializability-verified by the system; these tests pin the
+per-application behaviour the profiles were designed to produce.
+"""
+
+import pytest
+
+from repro import APP_PROFILES, ScalableTCCSystem, SystemConfig, app_workload
+
+
+@pytest.mark.parametrize("app", sorted(APP_PROFILES))
+def test_every_app_runs_and_verifies(app):
+    system = ScalableTCCSystem(SystemConfig(n_processors=4))
+    workload = app_workload(app, scale=0.1)
+    result = system.run(workload, max_cycles=500_000_000)
+    assert result.committed_transactions == workload.profile.total_transactions
+    assert result.cycles > 0
+    assert result.committed_instructions > 0
+
+
+@pytest.mark.parametrize("app", ["barnes", "equake", "specjbb2000"])
+def test_apps_scale_down_work_with_more_processors(app):
+    results = {}
+    for n in (1, 4):
+        system = ScalableTCCSystem(SystemConfig(n_processors=n))
+        results[n] = system.run(
+            app_workload(app, scale=0.1), max_cycles=500_000_000
+        )
+    assert results[4].cycles < results[1].cycles
+
+
+def test_specjbb_has_no_violations_at_small_scale():
+    system = ScalableTCCSystem(SystemConfig(n_processors=8))
+    result = system.run(app_workload("specjbb2000", scale=0.2),
+                        max_cycles=500_000_000)
+    assert result.total_violations == 0
+
+
+def test_cluster_ga_produces_violations():
+    system = ScalableTCCSystem(SystemConfig(n_processors=8))
+    result = system.run(app_workload("cluster_ga", scale=0.5),
+                        max_cycles=500_000_000)
+    assert result.total_violations > 0
+
+
+def test_radix_touches_many_directories():
+    system = ScalableTCCSystem(SystemConfig(n_processors=8))
+    result = system.run(app_workload("radix", scale=0.2),
+                        max_cycles=500_000_000)
+    samples = [d for s in result.proc_stats for d in s.dirs_touched]
+    assert max(samples) >= 6  # most of the 8 directories
+
+
+def test_swim_transactions_are_huge():
+    system = ScalableTCCSystem(SystemConfig(n_processors=2))
+    result = system.run(app_workload("swim", scale=0.05),
+                        max_cycles=500_000_000)
+    sizes = [t for s in result.proc_stats for t in s.tx_instructions]
+    assert max(sizes) > 30_000
+
+
+def test_app_under_token_backend():
+    system = ScalableTCCSystem(
+        SystemConfig(n_processors=4, commit_backend="token")
+    )
+    workload = app_workload("water_spatial", scale=0.1)
+    result = system.run(workload, max_cycles=500_000_000)
+    assert result.committed_transactions == workload.profile.total_transactions
+
+
+def test_app_at_line_granularity():
+    system = ScalableTCCSystem(
+        SystemConfig(n_processors=4, granularity="line")
+    )
+    workload = app_workload("barnes", scale=0.1)
+    result = system.run(workload, max_cycles=500_000_000)
+    assert result.committed_transactions == workload.profile.total_transactions

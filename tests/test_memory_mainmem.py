@@ -1,0 +1,73 @@
+"""Unit tests for the per-node physical memory."""
+
+import pytest
+
+from repro.memory import AddressMap, MainMemory
+
+
+@pytest.fixture
+def mem():
+    return MainMemory(AddressMap())
+
+
+def test_untouched_memory_reads_zero(mem):
+    assert mem.read_line(42) == [0] * 8
+    assert mem.read_word(42, 3) == 0
+
+
+def test_write_then_read_line(mem):
+    data = list(range(8))
+    mem.write_line(5, data)
+    assert mem.read_line(5) == data
+
+
+def test_read_line_returns_copy(mem):
+    mem.write_line(1, list(range(8)))
+    copy = mem.read_line(1)
+    copy[0] = 999
+    assert mem.read_line(1)[0] == 0
+
+
+def test_write_line_stores_copy(mem):
+    data = list(range(8))
+    mem.write_line(1, data)
+    data[0] = 999
+    assert mem.read_line(1)[0] == 0
+
+
+def test_write_words_merges(mem):
+    mem.write_line(7, [1] * 8)
+    mem.write_words(7, {2: 20, 5: 50})
+    assert mem.read_line(7) == [1, 1, 20, 1, 1, 50, 1, 1]
+
+
+def test_write_words_on_fresh_line(mem):
+    mem.write_words(9, {0: 5})
+    assert mem.read_line(9) == [5, 0, 0, 0, 0, 0, 0, 0]
+
+
+def test_wrong_length_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.write_line(0, [1, 2, 3])
+
+
+def test_snapshot_is_deep(mem):
+    mem.write_line(3, [7] * 8)
+    snap = mem.snapshot()
+    snap[3][0] = 0
+    assert mem.read_word(3, 0) == 7
+
+
+def test_access_counters(mem):
+    mem.write_line(0, [0] * 8)
+    mem.read_line(0)
+    mem.read_line(1)
+    assert mem.writes == 1
+    assert mem.reads == 2
+
+
+def test_resident_lines(mem):
+    assert mem.resident_lines == 0
+    mem.write_line(0, [0] * 8)
+    mem.write_words(1, {0: 1})
+    assert mem.resident_lines == 2

@@ -1,0 +1,165 @@
+"""Unit tests for the interconnect transport."""
+
+import pytest
+
+from repro.network import CLASS_COMMIT, CLASS_MISS, Interconnect, Packet
+from repro.network.message import HEADER_BYTES
+from repro.sim import Engine
+
+
+def make_net(n=4, **kwargs):
+    engine = Engine()
+    kwargs.setdefault("ordered", True)
+    kwargs.setdefault("link_bytes_per_cycle", None)
+    net = Interconnect(engine, n, **kwargs)
+    return engine, net
+
+
+def test_packet_rejects_bad_class():
+    with pytest.raises(ValueError):
+        Packet(0, 1, None, 4, "bogus")
+    with pytest.raises(ValueError):
+        Packet(0, 1, None, -1, CLASS_MISS)
+
+
+def test_delivery_invokes_registered_handler():
+    engine, net = make_net()
+    received = []
+    net.register(1, lambda pkt: received.append((engine.now, pkt.payload)))
+    net.send(0, 1, "hello", 0, CLASS_COMMIT)
+    engine.run()
+    assert len(received) == 1
+    assert received[0][1] == "hello"
+
+
+def test_latency_scales_with_hops():
+    engine, net = make_net(16, link_latency=5, router_latency=0)
+    # 4x4 mesh: 0 -> 15 is 6 hops
+    t_far = net.transit_cycles(0, 15, 8)
+    t_near = net.transit_cycles(0, 1, 8)
+    assert t_far == 30
+    assert t_near == 5
+
+
+def test_local_delivery_uses_local_latency():
+    engine, net = make_net(4, local_latency=2)
+    assert net.transit_cycles(2, 2, 100) == 2
+
+
+def test_serialization_adds_size_cycles():
+    engine, net = make_net(4, link_bytes_per_cycle=16, link_latency=3, router_latency=1)
+    small = net.transit_cycles(0, 1, 16)
+    large = net.transit_cycles(0, 1, 64)
+    assert large == small + 3  # 4 flits vs 1 flit
+
+
+def test_unregistered_destination_raises():
+    engine, net = make_net()
+    net.send(0, 3, None, 0, CLASS_COMMIT)
+    with pytest.raises(RuntimeError):
+        engine.run()
+
+
+def test_duplicate_registration_rejected():
+    _, net = make_net()
+    net.register(0, lambda pkt: None)
+    with pytest.raises(ValueError):
+        net.register(0, lambda pkt: None)
+
+
+def test_traffic_accounting_by_class():
+    engine, net = make_net()
+    net.register(1, lambda pkt: None)
+    net.send(0, 1, None, 32, CLASS_MISS)
+    net.send(0, 1, None, 8, CLASS_COMMIT)
+    engine.run()
+    assert net.stats.bytes_by_class["miss"] == 32
+    assert net.stats.bytes_by_class["commit"] == 8
+    assert net.stats.bytes_by_class["overhead"] == 2 * HEADER_BYTES
+    assert net.stats.total_bytes == 40 + 2 * HEADER_BYTES
+    assert net.stats.packets == 2
+
+
+def test_per_node_byte_counters():
+    engine, net = make_net()
+    net.register(2, lambda pkt: None)
+    net.send(0, 2, None, 8, CLASS_MISS)
+    engine.run()
+    assert net.stats.bytes_into_node[2] == 8 + HEADER_BYTES
+    assert net.stats.bytes_out_of_node[0] == 8 + HEADER_BYTES
+
+
+def test_multicast_charged_once_plus_route_bytes():
+    engine, net = make_net()
+    for node in (1, 2, 3):
+        net.register(node, lambda pkt: None)
+    net.multicast(0, [1, 2, 3], "skip", 4, CLASS_COMMIT)
+    engine.run()
+    # one full packet (4B payload + header) + 2 replica route bytes
+    assert net.stats.bytes_by_class["commit"] == 4
+    assert net.stats.bytes_by_class["overhead"] == HEADER_BYTES + 2
+    assert net.stats.packets == 3
+
+
+def test_multicast_sends_one_packet_per_destination():
+    engine, net = make_net()
+    hits = []
+    for node in (1, 2, 3):
+        net.register(node, lambda pkt, n=node: hits.append(n))
+    count = net.multicast(0, [1, 2, 3], "skip", 4, CLASS_COMMIT)
+    engine.run()
+    assert count == 3
+    assert sorted(hits) == [1, 2, 3]
+
+
+def test_ordered_network_preserves_fifo_between_pair():
+    engine, net = make_net(4)
+    order = []
+    net.register(1, lambda pkt: order.append(pkt.payload))
+    for i in range(10):
+        net.send(0, 1, i, 4, CLASS_COMMIT)
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_unordered_network_can_reorder():
+    engine = Engine()
+    net = Interconnect(engine, 4, ordered=False, jitter=5, seed=7,
+                       link_bytes_per_cycle=None)
+    order = []
+    net.register(1, lambda pkt: order.append(pkt.payload))
+    for i in range(50):
+        net.send(0, 1, i, 4, CLASS_COMMIT)
+    engine.run()
+    assert sorted(order) == list(range(50))
+    assert order != list(range(50))  # jitter must produce some reordering
+
+
+def test_jitter_disabled_when_ordered():
+    engine = Engine()
+    net = Interconnect(engine, 4, ordered=True, jitter=10)
+    assert net.jitter == 0
+
+
+def test_egress_bandwidth_serializes_departures():
+    engine = Engine()
+    net = Interconnect(engine, 4, ordered=True, link_bytes_per_cycle=8,
+                       link_latency=1, router_latency=0)
+    times = []
+    net.register(1, lambda pkt: times.append(engine.now))
+    # Three 56-byte payloads (64B total = 8 inject cycles each) back to back.
+    for _ in range(3):
+        net.send(0, 1, None, 56, CLASS_MISS)
+    engine.run()
+    assert times[1] - times[0] == 8
+    assert times[2] - times[1] == 8
+
+
+def test_packet_latency_property():
+    engine, net = make_net()
+    seen = []
+    net.register(1, lambda pkt: seen.append(pkt))
+    net.send(0, 1, None, 0, CLASS_MISS)
+    engine.run()
+    assert seen[0].latency == seen[0].deliver_time - seen[0].send_time
+    assert seen[0].latency > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the mesh topology."""
+
+import pytest
+
+from repro.network import MeshTopology
+
+
+def test_square_grid_for_64():
+    mesh = MeshTopology(64)
+    assert mesh.rows * mesh.cols >= 64
+    assert mesh.rows == 8 and mesh.cols == 8
+
+
+def test_rectangular_grid_for_32():
+    mesh = MeshTopology(32)
+    assert mesh.rows * mesh.cols >= 32
+    assert {mesh.rows, mesh.cols} == {8, 4}
+
+
+def test_single_node():
+    mesh = MeshTopology(1)
+    assert mesh.hops(0, 0) == 0
+    assert mesh.average_hops() == 0.0
+
+
+def test_two_nodes_one_hop():
+    mesh = MeshTopology(2)
+    assert mesh.hops(0, 1) == 1
+
+
+def test_hops_is_manhattan_distance():
+    mesh = MeshTopology(16)  # 4x4
+    assert mesh.cols == 4
+    assert mesh.hops(0, 3) == 3       # same row
+    assert mesh.hops(0, 12) == 3      # same column
+    assert mesh.hops(0, 15) == 6      # opposite corner
+    assert mesh.hops(5, 5) == 0
+
+
+def test_hops_symmetric():
+    mesh = MeshTopology(16)
+    for a in range(16):
+        for b in range(16):
+            assert mesh.hops(a, b) == mesh.hops(b, a)
+
+
+def test_coordinates_roundtrip():
+    mesh = MeshTopology(16)
+    for node in range(16):
+        row, col = mesh.coordinates(node)
+        assert row * mesh.cols + col == node
+
+
+def test_neighbors_interior_and_corner():
+    mesh = MeshTopology(16)  # 4x4
+    assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+    assert sorted(mesh.neighbors(0)) == [1, 4]
+    assert sorted(mesh.neighbors(15)) == [11, 14]
+
+
+def test_average_hops_reasonable():
+    mesh = MeshTopology(64)
+    # For an 8x8 mesh the mean pairwise distance is 16/3 * (1 - 1/64)-ish;
+    # just check it lands in a sane band.
+    assert 4.0 < mesh.average_hops() < 6.5
+
+
+def test_out_of_range_node_rejected():
+    mesh = MeshTopology(4)
+    with pytest.raises(ValueError):
+        mesh.hops(0, 4)
+    with pytest.raises(ValueError):
+        mesh.neighbors(-1)
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ValueError):
+        MeshTopology(0)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 12, 16, 24, 32, 48, 64, 100])
+def test_all_nodes_fit_in_grid(n):
+    mesh = MeshTopology(n)
+    assert mesh.rows * mesh.cols >= n
+    for node in range(n):
+        row, col = mesh.coordinates(node)
+        assert 0 <= row < mesh.rows
+        assert 0 <= col < mesh.cols

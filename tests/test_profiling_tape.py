@@ -1,0 +1,98 @@
+"""Tests for the TAPE profiler."""
+
+import pytest
+
+from repro import ScalableTCCSystem, SystemConfig
+from repro.profiling import TapeProfiler
+from repro.workloads import CounterWorkload, PrivateWorkload, StarvationWorkload
+from repro.workloads.base import Transaction
+
+
+class TestUnit:
+    def test_empty_profiler_report(self):
+        tape = TapeProfiler()
+        text = tape.report()
+        assert "violations          : 0" in text
+
+    def test_record_abort_aggregates(self):
+        tape = TapeProfiler()
+        tx = Transaction(1, [("c", 1)], label="hot")
+        tape.note_violation_cause(0, line=5, word_mask=1,
+                                  committer_tid=3, committer_proc=2)
+        tape.record_abort(100, 0, tx, wasted_cycles=500, in_commit_phase=False)
+        assert tape.total_violations == 1
+        assert tape.total_wasted_cycles == 500
+        assert tape.by_line[5] == 1
+        assert tape.by_pair[(2, 0)] == 1
+        assert tape.by_label["hot"] == 1
+        assert tape.records[0].line == 5
+
+    def test_abort_without_cause_is_execution_unknown(self):
+        tape = TapeProfiler()
+        tx = Transaction(1, [("c", 1)])
+        tape.record_abort(1, 0, tx, wasted_cycles=10, in_commit_phase=True)
+        assert tape.total_violations == 1
+        assert tape.hot_lines() == []  # unknown line (-1) filtered out
+
+    def test_first_cause_wins(self):
+        tape = TapeProfiler()
+        tape.note_violation_cause(0, 5, 1, 3, 2)
+        tape.note_violation_cause(0, 9, 1, 4, 1)  # later cause ignored
+        tx = Transaction(1, [("c", 1)])
+        tape.record_abort(1, 0, tx, 10, False)
+        assert tape.by_line[5] == 1
+        assert tape.by_line[9] == 0
+
+    def test_record_cap(self):
+        tape = TapeProfiler(max_records=2)
+        tx = Transaction(1, [("c", 1)])
+        for i in range(5):
+            tape.record_abort(i, 0, tx, 1, False)
+        assert len(tape.records) == 2
+        assert tape.total_violations == 5
+
+    def test_commit_phase_fraction(self):
+        tape = TapeProfiler()
+        tx = Transaction(1, [("c", 1)])
+        tape.record_abort(0, 0, tx, 1, in_commit_phase=True)
+        tape.record_abort(1, 0, tx, 1, in_commit_phase=False)
+        assert tape.commit_phase_fraction() == 0.5
+
+
+class TestIntegration:
+    def test_conflicting_run_populates_tape(self):
+        workload = CounterWorkload(n_counters=1, increments_per_proc=8)
+        system = ScalableTCCSystem(SystemConfig(n_processors=8))
+        result = system.run(workload, max_cycles=50_000_000)
+        tape = system.tape
+        assert tape.total_violations == result.total_violations > 0
+        assert tape.total_wasted_cycles == sum(
+            s.violation_cycles for s in result.proc_stats
+        )
+        # the single counter line is the hottest conflict object
+        hot = tape.hot_lines(top=3)
+        assert hot
+        assert hot[0][0] == workload.counter_addr(0) // 32
+        assert "hottest conflict lines" in tape.report()
+
+    def test_conflict_free_run_has_empty_tape(self):
+        system = ScalableTCCSystem(SystemConfig(n_processors=4))
+        system.run(PrivateWorkload(tx_per_proc=4), max_cycles=50_000_000)
+        assert system.tape.total_violations == 0
+        assert system.tape.retentions == []
+
+    def test_starvation_detected_as_retentions(self):
+        workload = StarvationWorkload(writer_txs=20)
+        system = ScalableTCCSystem(
+            SystemConfig(n_processors=8, retention_threshold=2)
+        )
+        system.run(workload, max_cycles=100_000_000)
+        assert len(system.tape.retentions) > 0
+        assert "retained (starving)" in system.tape.report()
+
+    def test_committer_victim_pairs_recorded(self):
+        workload = CounterWorkload(n_counters=1, increments_per_proc=6)
+        system = ScalableTCCSystem(SystemConfig(n_processors=4))
+        system.run(workload, max_cycles=50_000_000)
+        pairs = [p for p in system.tape.by_pair if p[0] >= 0]
+        assert pairs  # at least some violations attributed to a committer

@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.engine import SimulationError, ensure_engine
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_advances_clock():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [10]
+    assert engine.now == 10
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(5, lambda: order.append("b"))
+    engine.schedule(1, lambda: order.append("a"))
+    engine.schedule(9, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_cycle_events_run_fifo():
+    engine = Engine()
+    order = []
+    for label in "abc":
+        engine.schedule(3, lambda lab=label: order.append(lab))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_zero_delay_runs_after_current_queue_entries():
+    engine = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(0, lambda: order.append("nested"))
+
+    engine.schedule(0, first)
+    engine.schedule(0, lambda: order.append("second"))
+    engine.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append("early"))
+    engine.schedule(100, lambda: fired.append("late"))
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["early", "late"]
+    assert engine.now == 100
+
+
+def test_run_until_includes_boundary_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(50, lambda: fired.append("boundary"))
+    engine.run(until=50)
+    assert fired == ["boundary"]
+
+
+def test_run_on_empty_queue_leaves_clock_at_last_event():
+    engine = Engine()
+    engine.run(until=42)
+    assert engine.now == 0
+    engine.schedule(7, lambda: None)
+    engine.run(until=42)
+    assert engine.now == 7
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    fired = []
+    engine.schedule(1, lambda: engine.schedule(5, lambda: fired.append(engine.now)))
+    engine.run()
+    assert fired == [6]
+
+
+def test_peek_reports_next_event_time():
+    engine = Engine()
+    assert engine.peek() is None
+    engine.schedule(7, lambda: None)
+    assert engine.peek() == 7
+
+
+def test_events_executed_counter():
+    engine = Engine()
+    for _ in range(5):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_executed == 5
+
+
+def test_ensure_engine_accepts_engine_and_wrapper():
+    engine = Engine()
+    assert ensure_engine(engine) is engine
+
+    class Holder:
+        def __init__(self, eng):
+            self.engine = eng
+
+    assert ensure_engine(Holder(engine)) is engine
+    with pytest.raises(TypeError):
+        ensure_engine(object())

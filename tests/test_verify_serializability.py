@@ -1,0 +1,103 @@
+"""Unit tests for the serial-replay checker itself.
+
+The checker guards the whole project; these tests prove it actually
+catches the bug classes it claims to (stale reads, lost updates, bad
+final state) and accepts correct histories.
+"""
+
+import pytest
+
+from repro.memory import AddressMap
+from repro.verify import CommitRecord, ReplayMismatch, SerializabilityChecker
+from repro.workloads import Transaction
+
+
+@pytest.fixture
+def checker():
+    return SerializabilityChecker(AddressMap())
+
+
+def record(tid, tx_id, ops, reads, proc=0):
+    return CommitRecord(tid=tid, tx=Transaction(tx_id, ops), proc=proc, reads=reads)
+
+
+def test_empty_log_passes(checker):
+    checker.check([], {})
+
+
+def test_correct_serial_history_passes(checker):
+    log = [
+        record(1, 1, [("st", 0, 5)], []),
+        record(2, 2, [("ld", 0)], [(0, 0, 5)]),
+        record(3, 3, [("add", 0, 1)], [(0, 0, 5)]),
+    ]
+    checker.check(log, {0: [6, 0, 0, 0, 0, 0, 0, 0]})
+
+
+def test_stale_read_detected(checker):
+    log = [
+        record(1, 1, [("st", 0, 5)], []),
+        record(2, 2, [("ld", 0)], [(0, 0, 0)]),  # observed pre-commit value
+    ]
+    with pytest.raises(ReplayMismatch, match="observed 0"):
+        checker.replay(log)
+
+
+def test_lost_update_detected(checker):
+    # two increments, but the second observed the pre-first value
+    log = [
+        record(1, 1, [("add", 0, 1)], [(0, 0, 0)]),
+        record(2, 2, [("add", 0, 1)], [(0, 0, 0)]),  # lost update!
+    ]
+    with pytest.raises(ReplayMismatch):
+        checker.replay(log)
+
+
+def test_wrong_final_memory_detected(checker):
+    log = [record(1, 1, [("st", 0, 5)], [])]
+    with pytest.raises(ReplayMismatch, match="final memory"):
+        checker.check(log, {0: [4, 0, 0, 0, 0, 0, 0, 0]})
+
+
+def test_missing_final_line_treated_as_zero(checker):
+    log = [record(1, 1, [("st", 0, 0)], [])]
+    checker.check(log, {})  # value 0 matches implicit zero memory
+
+
+def test_duplicate_tids_detected(checker):
+    log = [
+        record(3, 1, [("st", 0, 1)], []),
+        record(3, 2, [("st", 4, 1)], []),
+    ]
+    with pytest.raises(ReplayMismatch, match="duplicate TID"):
+        checker.replay(log)
+
+
+def test_reads_on_wrong_address_detected(checker):
+    log = [record(1, 1, [("ld", 0)], [(9, 9, 0)])]
+    with pytest.raises(ReplayMismatch, match="recorded"):
+        checker.replay(log)
+
+
+def test_too_few_recorded_reads_detected(checker):
+    log = [record(1, 1, [("ld", 0), ("ld", 4)], [(0, 0, 0)])]
+    with pytest.raises(ReplayMismatch, match="fewer recorded reads"):
+        checker.replay(log)
+
+
+def test_tid_order_not_log_order_governs(checker):
+    # Log appended out of TID order (commit completion order can differ);
+    # the replay must sort by TID.
+    log = [
+        record(2, 2, [("ld", 0)], [(0, 0, 5)]),
+        record(1, 1, [("st", 0, 5)], []),
+    ]
+    checker.check(log, {0: [5, 0, 0, 0, 0, 0, 0, 0]})
+
+
+def test_rmw_chain_value_tracking(checker):
+    log = [
+        record(tid, tid, [("add", 0, 2)], [(0, 0, (tid - 1) * 2)])
+        for tid in range(1, 6)
+    ]
+    checker.check(log, {0: [10, 0, 0, 0, 0, 0, 0, 0]})

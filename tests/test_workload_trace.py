@@ -1,0 +1,118 @@
+"""Tests for trace save/load workloads."""
+
+import json
+
+import pytest
+
+from repro import ScalableTCCSystem, SystemConfig, app_workload
+from repro.workloads import CounterWorkload, Transaction
+from repro.workloads.base import BARRIER, Workload
+from repro.workloads.trace import TraceFormatError, TraceWorkload, save_trace
+
+
+def test_round_trip_preserves_schedules(tmp_path):
+    path = tmp_path / "trace.json"
+    original = CounterWorkload(n_counters=2, increments_per_proc=4)
+    save_trace(str(path), original, n_procs=3, name="counters")
+
+    replay = TraceWorkload.load(str(path))
+    assert replay.name == "counters"
+    assert replay.n_procs == 3
+    for proc in range(3):
+        a = list(original.schedule(proc, 3))
+        b = list(replay.schedule(proc, 3))
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x is BARRIER if y is BARRIER else True
+            if isinstance(x, Transaction):
+                assert x.tx_id == y.tx_id
+                assert list(map(tuple, x.ops)) == list(map(tuple, y.ops))
+                assert x.label == y.label
+
+
+def test_barriers_survive_round_trip(tmp_path):
+    from repro.workloads import ProducerConsumerWorkload
+
+    path = tmp_path / "pc.json"
+    save_trace(str(path), ProducerConsumerWorkload(phases=2), n_procs=2)
+    replay = TraceWorkload.load(str(path))
+    barriers = sum(1 for item in replay.schedule(0, 2) if item is BARRIER)
+    assert barriers == 4
+
+
+def test_replayed_trace_runs_identically(tmp_path):
+    path = tmp_path / "app.json"
+    original = app_workload("barnes", scale=0.05)
+    save_trace(str(path), original, n_procs=4)
+
+    res_orig = ScalableTCCSystem(
+        SystemConfig(n_processors=4, ordered_network=True)
+    ).run(original, max_cycles=500_000_000)
+    res_replay = ScalableTCCSystem(
+        SystemConfig(n_processors=4, ordered_network=True)
+    ).run(TraceWorkload.load(str(path)), max_cycles=500_000_000)
+
+    assert res_replay.cycles == res_orig.cycles
+    assert res_replay.committed_transactions == res_orig.committed_transactions
+    assert res_replay.memory_image == res_orig.memory_image
+
+
+def test_wrong_processor_count_rejected(tmp_path):
+    path = tmp_path / "t.json"
+    save_trace(str(path), CounterWorkload(), n_procs=2)
+    replay = TraceWorkload.load(str(path))
+    with pytest.raises(ValueError, match="recorded for 2"):
+        list(replay.schedule(0, 4))
+
+
+def test_unknown_version_rejected():
+    with pytest.raises(TraceFormatError, match="version"):
+        TraceWorkload({"version": 99, "n_procs": 1, "schedules": [[]]})
+
+
+def test_malformed_item_rejected():
+    with pytest.raises(TraceFormatError, match="bad schedule item"):
+        TraceWorkload({
+            "version": 1, "n_procs": 1,
+            "schedules": [[{"nope": True}]],
+        })
+
+
+def test_random_transactions_round_trip_property(tmp_path):
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    op_strategy = st.one_of(
+        st.tuples(st.just("c"), st.integers(1, 1000)),
+        st.tuples(st.just("ld"), st.integers(0, 1 << 20)),
+        st.tuples(st.just("st"), st.integers(0, 1 << 20), st.integers(0, 999)),
+        st.tuples(st.just("add"), st.integers(0, 1 << 20), st.integers(-9, 9)),
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.lists(op_strategy, min_size=1, max_size=8),
+                    min_size=1, max_size=6))
+    def check(tx_op_lists):
+        class OneProc(Workload):
+            def schedule(self, proc, n_procs):
+                return iter(
+                    Transaction(i, ops, label=f"t{i}")
+                    for i, ops in enumerate(tx_op_lists)
+                )
+
+        path = tmp_path / "prop.json"
+        save_trace(str(path), OneProc(), n_procs=1)
+        replay = list(TraceWorkload.load(str(path)).schedule(0, 1))
+        assert [list(map(tuple, t.ops)) for t in replay] == [
+            [tuple(op) for op in ops] for ops in tx_op_lists
+        ]
+
+    check()
+
+
+def test_trace_file_is_plain_json(tmp_path):
+    path = tmp_path / "t.json"
+    save_trace(str(path), CounterWorkload(increments_per_proc=1), n_procs=1)
+    document = json.loads(path.read_text())
+    assert document["version"] == 1
+    assert isinstance(document["schedules"][0][0]["ops"], list)

@@ -1,0 +1,193 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.workloads import (
+    APP_PROFILES,
+    BARRIER,
+    SyntheticWorkload,
+    Transaction,
+    WorkloadProfile,
+    app_workload,
+)
+from repro.workloads.base import Workload
+from repro.workloads.micro import CounterWorkload, ProducerConsumerWorkload
+
+
+class TestTransaction:
+    def test_instruction_count(self):
+        tx = Transaction(1, [("c", 100), ("ld", 0), ("st", 4, 1), ("add", 8, 1)])
+        assert tx.instructions == 100 + 1 + 1 + 2
+
+    def test_read_write_addrs(self):
+        tx = Transaction(1, [("ld", 0), ("st", 4, 1), ("add", 8, 1)])
+        assert tx.read_addrs() == [0, 8]
+        assert tx.write_addrs() == [4, 8]
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(1, [("jmp", 0)])
+
+
+class TestWorkloadValidation:
+    def test_consistent_barriers_pass(self):
+        ProducerConsumerWorkload(phases=2).validate(4)
+
+    def test_duplicate_tx_ids_detected(self):
+        class Bad(Workload):
+            def schedule(self, proc, n_procs):
+                return iter([Transaction(7, [("c", 1)])])
+
+        with pytest.raises(ValueError, match="duplicate"):
+            Bad().validate(2)
+
+    def test_mismatched_barriers_detected(self):
+        class Bad(Workload):
+            def schedule(self, proc, n_procs):
+                items = [Transaction(proc, [("c", 1)])]
+                if proc == 0:
+                    items.append(BARRIER)
+                return iter(items)
+
+        with pytest.raises(ValueError, match="barrier"):
+            Bad().validate(2)
+
+
+class TestSyntheticWorkload:
+    def make(self, **kwargs):
+        profile = WorkloadProfile(name="test", total_transactions=64, **kwargs)
+        return SyntheticWorkload(profile)
+
+    def test_total_transactions_partitioned_exactly(self):
+        wl = self.make()
+        for n in (1, 3, 8, 64):
+            total = sum(
+                sum(1 for item in wl.schedule(p, n) if isinstance(item, Transaction))
+                for p in range(n)
+            )
+            assert total == 64
+
+    def test_deterministic_per_seed(self):
+        wl = self.make()
+        a = [t.ops for t in wl.schedule(0, 4) if isinstance(t, Transaction)]
+        b = [t.ops for t in wl.schedule(0, 4) if isinstance(t, Transaction)]
+        assert a == b
+
+    def test_different_procs_get_different_streams(self):
+        wl = self.make()
+        a = [t.ops for t in wl.schedule(0, 4) if isinstance(t, Transaction)]
+        b = [t.ops for t in wl.schedule(1, 4) if isinstance(t, Transaction)]
+        assert a != b
+
+    def test_tx_sizes_track_profile(self):
+        small = self.make(tx_instructions=100)
+        large = self.make(tx_instructions=10000)
+        mean_small = self._mean_instructions(small)
+        mean_large = self._mean_instructions(large)
+        assert mean_large > 10 * mean_small
+
+    @staticmethod
+    def _mean_instructions(wl):
+        txs = [t for t in wl.schedule(0, 2) if isinstance(t, Transaction)]
+        return sum(t.instructions for t in txs) / len(txs)
+
+    def test_shared_fraction_zero_means_private(self):
+        wl = self.make(shared_fraction=0.0, write_shared_fraction=0.0)
+        for proc in range(2):
+            for tx in wl.schedule(proc, 2):
+                if isinstance(tx, Transaction):
+                    for addr in tx.read_addrs() + tx.write_addrs():
+                        assert addr < wl._shared_base
+
+    def test_shared_fraction_one_hits_shared_pool(self):
+        wl = self.make(shared_fraction=1.0, write_shared_fraction=1.0)
+        hits = 0
+        for tx in wl.schedule(0, 2):
+            if isinstance(tx, Transaction):
+                hits += sum(
+                    1 for a in tx.read_addrs() if a >= wl._shared_base
+                )
+        assert hits > 0
+
+    def test_barrier_counts_consistent_across_procs(self):
+        profile = WorkloadProfile(
+            name="b", total_transactions=50, barrier_every=4
+        )
+        SyntheticWorkload(profile).validate(8)
+
+    def test_scaled_profile(self):
+        profile = WorkloadProfile(name="x", total_transactions=100)
+        assert profile.scaled(0.25).total_transactions == 25
+        assert profile.scaled(0.001).total_transactions == 1
+
+
+class TestAppProfiles:
+    def test_all_eleven_applications_present(self):
+        assert len(APP_PROFILES) == 11
+        expected = {
+            "barnes", "cluster_ga", "equake", "radix", "specjbb2000",
+            "svm_classify", "swim", "tomcatv", "volrend",
+            "water_nsquared", "water_spatial",
+        }
+        assert set(APP_PROFILES) == expected
+
+    def test_app_workload_factory(self):
+        wl = app_workload("barnes", scale=0.5)
+        assert wl.profile.total_transactions == APP_PROFILES["barnes"].total_transactions // 2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            app_workload("doom")
+
+    def test_all_profiles_validate(self):
+        for name in APP_PROFILES:
+            app_workload(name, scale=0.1).validate(4)
+
+    def test_profile_relationships_from_prose(self):
+        """Orderings the paper's Section 4.2 prose establishes."""
+        p = APP_PROFILES
+        # swim has the largest transactions
+        assert p["swim"].tx_instructions == max(
+            prof.tx_instructions for prof in p.values()
+        )
+        # equake and volrend have tiny transactions
+        assert p["equake"].tx_instructions < 1000
+        assert p["volrend"].tx_instructions < 1000
+        # SPECjbb has essentially no sharing
+        assert p["specjbb2000"].shared_fraction < 0.05
+        # radix spans the most pages (touches all directories)
+        assert p["radix"].spread_pages == max(
+            prof.spread_pages for prof in p.values()
+        )
+        # water-spatial communicates less than water-nsquared
+        assert (
+            p["water_spatial"].shared_fraction
+            < p["water_nsquared"].shared_fraction
+        )
+
+
+class TestMicroWorkloads:
+    def test_counter_expected_total(self):
+        wl = CounterWorkload(increments_per_proc=7)
+        assert wl.expected_total(8) == 56
+
+    def test_counter_addrs_on_distinct_pages(self):
+        wl = CounterWorkload(n_counters=4)
+        pages = {wl.counter_addr(i) // 4096 for i in range(4)}
+        assert len(pages) == 4
+
+    def test_all_micros_validate(self):
+        from repro.workloads.micro import (
+            FalseSharingWorkload,
+            PrivateWorkload,
+            StarvationWorkload,
+        )
+
+        for wl in (
+            CounterWorkload(),
+            PrivateWorkload(),
+            FalseSharingWorkload(),
+            ProducerConsumerWorkload(),
+            StarvationWorkload(),
+        ):
+            wl.validate(4)
