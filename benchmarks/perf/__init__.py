@@ -1,0 +1,16 @@
+"""Wall-clock kernel benchmark for the simulator itself.
+
+Unlike the sibling ``bench_*`` modules — which regenerate the *paper's*
+tables and figures — this package measures how fast the simulator runs
+on the host: events/sec and wall seconds over the Figure 7 workload set,
+by default all eleven applications at 32 processors.
+
+Run it (writes ``BENCH_kernel.json`` at the repo root):
+
+    PYTHONPATH=src python -m benchmarks.perf
+    PYTHONPATH=src python -m benchmarks.perf --quick   # CI smoke, seconds
+
+Equivalently: ``python -m repro perf --out BENCH_kernel.json``.  The
+implementation lives in :mod:`repro.analysis.perf`; this package only
+pins the canonical output location and default configuration.
+"""

@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
     run_latency_sweep,
     run_scaling,
 )
+from repro.analysis.perf import run_perf
 from repro.analysis.report import render_report
 
 __all__ = [
@@ -25,5 +26,6 @@ __all__ = [
     "render_report",
     "run_app",
     "run_latency_sweep",
+    "run_perf",
     "run_scaling",
 ]

@@ -1,0 +1,158 @@
+"""Wall-clock performance harness for the simulation kernel.
+
+Every optimization PR records its before/after numbers with this
+harness so the repo accumulates a performance trajectory next to its
+correctness trajectory.  The headline experiment is the Figure 7
+scaling workload at 32 CPUs: every application profile, full volume,
+one run each.  The metric is *engine events per wall-clock second*
+(plus wall time per app); simulated cycle counts are recorded too so a
+perf run doubles as a quick determinism check — they must not change
+unless the timing model itself changed.
+
+Usage:
+
+    python -m repro perf                 # full Fig. 7 @ 32 CPUs, 3 repeats
+    python -m repro perf --quick         # seconds-long smoke (CI)
+    python -m repro perf --out BENCH_kernel.json
+
+or programmatically via :func:`run_perf`.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.system import ScalableTCCSystem
+from repro.workloads.apps import APP_PROFILES, app_workload
+
+#: The headline experiment: the Fig. 7 scaling run at 32 CPUs.
+FULL_APPS = tuple(sorted(APP_PROFILES))
+QUICK_APPS = ("barnes", "equake", "swim")
+
+
+def _run_once(app: str, config: SystemConfig, scale: float) -> Dict[str, float]:
+    """One timed run; returns wall seconds, events and cycles."""
+    system = ScalableTCCSystem(config)
+    workload = app_workload(app, scale=scale)
+    start = time.perf_counter()
+    result = system.run(workload, verify=False)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "events": result.events_executed,
+        "cycles": result.cycles,
+        "committed": result.committed_transactions,
+        "violations": result.total_violations,
+        "traffic_bytes": result.traffic.total_bytes,
+    }
+
+
+def run_perf(
+    apps: Optional[Sequence[str]] = None,
+    n_processors: int = 32,
+    scale: float = 1.0,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: int = 0,
+    config_overrides: Optional[dict] = None,
+) -> Dict:
+    """Run the perf experiment and return the report dict.
+
+    ``repeats`` timed passes over every app (after ``warmup`` untimed
+    ones); per-app wall time is the median over repeats, events/sec is
+    total events over median total wall time.
+    """
+    apps = list(apps or FULL_APPS)
+    unknown = [a for a in apps if a not in APP_PROFILES]
+    if unknown:
+        raise ValueError(f"unknown apps: {unknown}")
+    overrides = dict(config_overrides or {})
+    config = SystemConfig(n_processors=n_processors, seed=seed, **overrides)
+
+    for _ in range(warmup):
+        for app in apps:
+            _run_once(app, config, scale)
+
+    samples: Dict[str, List[Dict[str, float]]] = {app: [] for app in apps}
+    for _ in range(max(1, repeats)):
+        for app in apps:
+            samples[app].append(_run_once(app, config, scale))
+
+    per_app = {}
+    for app, runs in samples.items():
+        walls = [r["wall_s"] for r in runs]
+        first = runs[0]
+        # Simulated outcomes must be identical across repeats; a
+        # mismatch means nondeterminism crept into the kernel.
+        for r in runs[1:]:
+            for key in ("events", "cycles", "committed", "violations", "traffic_bytes"):
+                if r[key] != first[key]:
+                    raise RuntimeError(
+                        f"nondeterministic run: {app} {key} {r[key]} != {first[key]}"
+                    )
+        wall = statistics.median(walls)
+        per_app[app] = {
+            "wall_s": round(wall, 4),
+            "wall_samples_s": [round(w, 4) for w in walls],
+            "events": first["events"],
+            "cycles": first["cycles"],
+            "committed": first["committed"],
+            "violations": first["violations"],
+            "traffic_bytes": first["traffic_bytes"],
+            "events_per_sec": round(first["events"] / wall),
+        }
+
+    total_events = sum(v["events"] for v in per_app.values())
+    total_wall = sum(v["wall_s"] for v in per_app.values())
+    return {
+        "bench": "kernel",
+        "experiment": {
+            "apps": apps,
+            "n_processors": n_processors,
+            "scale": scale,
+            "repeats": repeats,
+            "warmup": warmup,
+            "seed": seed,
+            "config_overrides": overrides,
+        },
+        "python": sys.version.split()[0],
+        "per_app": per_app,
+        "total": {
+            "events": total_events,
+            "wall_s": round(total_wall, 4),
+            "events_per_sec": round(total_events / total_wall),
+            "cycles": sum(v["cycles"] for v in per_app.values()),
+        },
+    }
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable table for one harness report."""
+    lines = [
+        f"kernel perf — {report['experiment']['n_processors']} CPUs, "
+        f"scale {report['experiment']['scale']}, "
+        f"{report['experiment']['repeats']} repeats (python {report['python']})",
+        f"{'app':<16} {'events':>10} {'cycles':>10} {'wall s':>8} {'events/s':>10}",
+    ]
+    for app, row in report["per_app"].items():
+        lines.append(
+            f"{app:<16} {row['events']:>10,} {row['cycles']:>10,} "
+            f"{row['wall_s']:>8.3f} {row['events_per_sec']:>10,}"
+        )
+    total = report["total"]
+    lines.append(
+        f"{'TOTAL':<16} {total['events']:>10,} {total['cycles']:>10,} "
+        f"{total['wall_s']:>8.3f} {total['events_per_sec']:>10,}"
+    )
+    return "\n".join(lines)
+
+
+def save_report(report: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

@@ -181,6 +181,38 @@ def cmd_latency(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.analysis.perf import (
+        QUICK_APPS,
+        format_report,
+        run_perf,
+        save_report,
+    )
+
+    if args.apps:
+        for app in args.apps:
+            _check_app(app)
+
+    def pick(value, default):
+        return default if value is None else value
+
+    if args.quick:
+        report = run_perf(apps=args.apps or list(QUICK_APPS),
+                          n_processors=pick(args.processors, 8),
+                          scale=pick(args.perf_scale, 0.25),
+                          repeats=pick(args.repeats, 1), warmup=0)
+    else:
+        report = run_perf(apps=args.apps or None,
+                          n_processors=pick(args.processors, 32),
+                          scale=pick(args.perf_scale, 1.0),
+                          repeats=pick(args.repeats, 3))
+    print(format_report(report))
+    if args.out:
+        save_report(report, args.out)
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
 def cmd_traffic(args) -> int:
     name = _check_app(args.app)
     config = _config_from(args)
@@ -237,6 +269,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app")
     _add_machine_args(p)
     p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser(
+        "perf",
+        help="wall-clock kernel benchmark (events/sec; Fig. 7 @ 32 CPUs)",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="seconds-long smoke: 3 apps @ 8 CPUs, scale 0.25")
+    p.add_argument("--apps", type=lambda t: [a for a in t.split(",") if a],
+                   default=None, help="comma-separated app subset")
+    p.add_argument("-n", "--processors", type=int, default=None,
+                   help="processor count (default 32, quick: 8)")
+    p.add_argument("--scale", dest="perf_scale", type=float, default=None,
+                   help="workload volume (default 1.0, quick: 0.25)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timed repeats per app (default 3, quick: 1)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON report to FILE (e.g. BENCH_kernel.json)")
+    p.set_defaults(func=cmd_perf)
 
     return parser
 

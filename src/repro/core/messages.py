@@ -42,7 +42,7 @@ TID_BYTES = 4
 FLAG_BYTES = 1  # per-line word flags (8 words -> 1 byte)
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadRequest:
     """Fetch a cache line from its home directory."""
 
@@ -54,7 +54,7 @@ class LoadRequest:
     traffic_class = CLASS_OVERHEAD
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadReply:
     """Full line data back to the requester."""
 
@@ -69,7 +69,7 @@ class LoadReply:
         return ADDR_BYTES + 4 * len(self.data)
 
 
-@dataclass
+@dataclass(slots=True)
 class TidRequest:
     """Ask the global vendor for the next transaction ID."""
 
@@ -79,7 +79,7 @@ class TidRequest:
     traffic_class = CLASS_OVERHEAD
 
 
-@dataclass
+@dataclass(slots=True)
 class TidReply:
     tid: int
 
@@ -87,7 +87,7 @@ class TidReply:
     traffic_class = CLASS_OVERHEAD
 
 
-@dataclass
+@dataclass(slots=True)
 class SkipMsg:
     """Tell a directory this TID has nothing to commit there."""
 
@@ -97,7 +97,7 @@ class SkipMsg:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeRequest:
     """Ask a directory for its NSTID; the directory defers the reply until
     NSTID >= tid (the paper's "directory does not respond until the
@@ -111,7 +111,7 @@ class ProbeRequest:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeReply:
     directory: int
     tid: int
@@ -122,7 +122,7 @@ class ProbeReply:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class MarkMsg:
     """Pre-commit the write-set lines homed at one directory.
 
@@ -147,7 +147,7 @@ class MarkMsg:
         return size
 
 
-@dataclass
+@dataclass(slots=True)
 class MarkAck:
     directory: int
     tid: int
@@ -156,7 +156,7 @@ class MarkAck:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitMsg:
     """Gang-upgrade this TID's marked lines to owned."""
 
@@ -167,7 +167,7 @@ class CommitMsg:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitAck:
     directory: int
     tid: int
@@ -176,7 +176,7 @@ class CommitAck:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class AbortMsg:
     """Gang-clear this TID's marks.
 
@@ -195,7 +195,7 @@ class AbortMsg:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class Invalidation:
     """A committed write: sharers drop the words and check for violation.
 
@@ -213,7 +213,7 @@ class Invalidation:
     traffic_class = CLASS_COMMIT
 
 
-@dataclass
+@dataclass(slots=True)
 class InvAck:
     """Acknowledgement; carries write-back data when the invalidated line
     was dirty at the previous owner (so its non-overwritten words are not
@@ -235,7 +235,7 @@ class InvAck:
         return base
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteBackMsg:
     """Committed data returning home.
 
@@ -258,7 +258,7 @@ class WriteBackMsg:
         return ADDR_BYTES + TID_BYTES + FLAG_BYTES + 4 * len(self.words)
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteBackAck:
     line: int
 
@@ -266,7 +266,7 @@ class WriteBackAck:
     traffic_class = CLASS_OVERHEAD
 
 
-@dataclass
+@dataclass(slots=True)
 class FlushRequest:
     """Directory asks the owner to write a line back (true sharing)."""
 
@@ -283,7 +283,7 @@ class FlushRequest:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class TokenInv:
     """Broadcast commit-address snoop: every other processor checks its
     speculative state against these lines/word flags."""
@@ -299,7 +299,7 @@ class TokenInv:
         return TID_BYTES + len(self.lines) * (ADDR_BYTES + FLAG_BYTES)
 
 
-@dataclass
+@dataclass(slots=True)
 class TokenInvAck:
     node: int
     tid: int
@@ -308,7 +308,7 @@ class TokenInvAck:
     traffic_class = CLASS_OVERHEAD
 
 
-@dataclass
+@dataclass(slots=True)
 class TokenWrite:
     """Write-through commit data to one home memory."""
 
@@ -325,7 +325,7 @@ class TokenWrite:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class TokenWriteAck:
     directory: int
     tid: int

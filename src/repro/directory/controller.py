@@ -160,6 +160,8 @@ class DirectoryController:
         )
         # Write-through ablation: data travelling with marks, per tid.
         self._wt_data: Dict[int, Dict[int, Dict[int, int]]] = defaultdict(dict)
+        # sharer -> expanded group-target tuple (coarse sharer vectors).
+        self._group_ranges: Dict[int, tuple] = {}
 
         #: Optional structured event log (set by the system when
         #: ``config.event_log`` is enabled).
@@ -239,14 +241,13 @@ class DirectoryController:
 
     def _send(self, dst: int, msg: Any, extra_delay: int = 0) -> None:
         if extra_delay:
-            self.engine.schedule(
-                extra_delay,
-                lambda: self.network.send(
-                    self.node, dst, msg, msg.payload_bytes, msg.traffic_class
-                ),
-            )
+            self.engine.schedule_call(extra_delay, self._send_later, (dst, msg))
         else:
             self.network.send(self.node, dst, msg, msg.payload_bytes, msg.traffic_class)
+
+    def _send_later(self, dst_msg: tuple) -> None:
+        dst, msg = dst_msg
+        self.network.send(self.node, dst, msg, msg.payload_bytes, msg.traffic_class)
 
     # ------------------------------------------------------------------
     # loads and data movement
@@ -351,7 +352,7 @@ class DirectoryController:
             )
         self._first_contact.setdefault(msg.tid, self.engine.now)
         for line, word_mask in msg.lines.items():
-            self.state.entry(line).mark(msg.tid, word_mask)
+            self.state.mark_line(line, msg.tid, word_mask)
         if msg.data:
             self._wt_data[msg.tid].update(msg.data)
         self._send(msg.committer, MarkAck(self.node, msg.tid))
@@ -363,7 +364,7 @@ class DirectoryController:
             )
         if self._active_commit is not None:
             raise ProtocolError(f"dir {self.node}: overlapping commits")
-        marked = self.state.marked_lines(msg.tid)
+        marked = self.state.marked_for(msg.tid)
         if not marked:
             raise ProtocolError(
                 f"dir {self.node}: commit from TID {msg.tid} with no marked lines"
@@ -407,9 +408,14 @@ class DirectoryController:
             return set(entry.sharers)
         n = self.config.n_processors
         targets = set()
+        ranges = self._group_ranges
         for sharer in entry.sharers:
-            base = (sharer // group) * group
-            targets.update(range(base, min(base + group, n)))
+            expanded = ranges.get(sharer)
+            if expanded is None:
+                base = (sharer // group) * group
+                expanded = tuple(range(base, min(base + group, n)))
+                ranges[sharer] = expanded
+            targets.update(expanded)
         return targets
 
     def _handle_inv_ack(self, msg: InvAck) -> None:
@@ -434,7 +440,7 @@ class DirectoryController:
         ctx = self._active_commit
         assert ctx is not None
         write_through = self._wt_data.pop(ctx.tid, None)
-        for entry in self.state.marked_lines(ctx.tid):
+        for entry in self.state.marked_for(ctx.tid):
             if self.config.write_through_commit:
                 words = (write_through or {}).get(entry.line, {})
                 self.memory.write_words(entry.line, words)
@@ -457,6 +463,7 @@ class DirectoryController:
             self.event_log.log(self.engine.now, "dir_commit", self.node,
                                tid=ctx.tid, committer=ctx.committer)
         self._send(ctx.committer, CommitAck(self.node, ctx.tid))
+        self.state.drop_marks(ctx.tid)
         self._active_commit = None
         self.skipvec.complete_current()
         self._after_advance()
@@ -467,8 +474,9 @@ class DirectoryController:
             raise ProtocolError(
                 f"dir {self.node}: abort from TID {msg.tid} after its commit message"
             )
-        for entry in self.state.marked_lines(msg.tid):
+        for entry in self.state.marked_for(msg.tid):
             entry.clear_mark()
+        self.state.drop_marks(msg.tid)
         self._wt_data.pop(msg.tid, None)
         self._first_contact.pop(msg.tid, None)
         self.stats.aborts_served += 1

@@ -32,6 +32,9 @@ class DirectoryEntry:
     marked_words: int = 0
     marked_by: Optional[int] = None
     tid_tag: int = 0
+    #: Creation rank within the owning :class:`DirectoryState`; entries are
+    #: never deleted, so this reproduces the entry-table scan order.
+    seq: int = 0
 
     @property
     def owned(self) -> bool:
@@ -74,11 +77,15 @@ class DirectoryState:
 
     def __init__(self) -> None:
         self._entries: Dict[int, DirectoryEntry] = {}
+        # tid -> {line: entry}: which entries a TID has marked.  The hot
+        # commit/abort paths read it via marked_for() instead of scanning
+        # every entry; marked_lines() keeps the authoritative full scan.
+        self._mark_index: Dict[int, Dict[int, DirectoryEntry]] = {}
 
     def entry(self, line: int) -> DirectoryEntry:
         found = self._entries.get(line)
         if found is None:
-            found = DirectoryEntry(line)
+            found = DirectoryEntry(line, seq=len(self._entries))
             self._entries[line] = found
         return found
 
@@ -94,6 +101,39 @@ class DirectoryState:
     def marked_lines(self, tid: int):
         """Lines currently marked by ``tid``."""
         return [e for e in self._entries.values() if e.marked and e.marked_by == tid]
+
+    def mark_line(self, line: int, tid: int, word_mask: int) -> DirectoryEntry:
+        """Mark through the index — equivalent to ``entry(line).mark(...)``
+        but queryable via :meth:`marked_for` without a full scan."""
+        entry = self.entry(line)
+        entry.mark(tid, word_mask)
+        bucket = self._mark_index.get(tid)
+        if bucket is None:
+            bucket = self._mark_index[tid] = {}
+        bucket[line] = entry
+        return entry
+
+    def marked_for(self, tid: int):
+        """Indexed :meth:`marked_lines`, in the same (creation) order.
+
+        Only sees marks placed via :meth:`mark_line`; entries unmarked or
+        re-marked by another TID since are filtered (and pruned) here.
+        """
+        bucket = self._mark_index.get(tid)
+        if not bucket:
+            return []
+        live = [e for e in bucket.values() if e.marked and e.marked_by == tid]
+        if not live:
+            del self._mark_index[tid]
+            return []
+        if len(live) != len(bucket):
+            self._mark_index[tid] = {e.line: e for e in live}
+        live.sort(key=lambda e: e.seq)
+        return live
+
+    def drop_marks(self, tid: int) -> None:
+        """Forget a finished TID's mark-index bucket."""
+        self._mark_index.pop(tid, None)
 
     def working_set_entries(self, home: int) -> int:
         """Entries with at least one remote sharer or a remote owner —

@@ -96,6 +96,10 @@ class FirstTouchMapping:
         self.n_nodes = n_nodes
         self.lines_per_page = page_size // line_size
         self._page_home: Dict[int, int] = {}
+        # line -> home, memoized only once the page is *placed* (placement
+        # is permanent, so these entries can never go stale); the
+        # interleaved fallback for untouched pages must not be cached.
+        self._line_home: Dict[int, int] = {}
 
     def _page_of(self, line: int) -> int:
         return line // self.lines_per_page
@@ -107,14 +111,19 @@ class FirstTouchMapping:
         if home is None:
             home = node % self.n_nodes
             self._page_home[page] = home
+        self._line_home[line] = home
         return home
 
     def home(self, line: int) -> int:
+        home = self._line_home.get(line)
+        if home is not None:
+            return home
         page = self._page_of(line)
         home = self._page_home.get(page)
         if home is None:
             # Untouched page: fall back to interleave so the map is total.
-            home = page % self.n_nodes
+            return page % self.n_nodes
+        self._line_home[line] = home
         return home
 
     @property

@@ -42,6 +42,9 @@ class CacheLine:
     sr_mask: int = 0
     sm_mask: int = 0
     last_use: int = 0
+    #: Monotone stamp from the owning cache at bucket insertion, used to
+    #: reproduce dict-insertion scan order without scanning.
+    insert_seq: int = 0
 
     @property
     def speculative(self) -> bool:
@@ -133,6 +136,12 @@ class SpeculativeCache:
         self.name = name
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
         self._clock = 0
+        # Index of lines with SR/SM state, so transaction-boundary walks
+        # touch only the speculative footprint instead of every resident
+        # line.  ``_spec_sorted`` caches the scan-ordered view (set index,
+        # then bucket insertion order — identical to a full-set walk).
+        self._spec: Dict[int, CacheLine] = {}
+        self._spec_sorted: Optional[List[CacheLine]] = None
         self.stats = CacheStats()
 
     # -- indexing -------------------------------------------------------
@@ -174,6 +183,9 @@ class SpeculativeCache:
             return None
         self.stats.hits += 1
         if speculative:
+            if not (entry.sr_mask | entry.sm_mask):
+                self._spec[line] = entry
+                self._spec_sorted = None
             entry.sr_mask |= self._mask_for(word)
         return entry.data[word]
 
@@ -193,6 +205,9 @@ class SpeculativeCache:
         entry.data[word] = value
         entry.valid_mask |= 1 << word
         if speculative:
+            if not (entry.sr_mask | entry.sm_mask):
+                self._spec[line] = entry
+                self._spec_sorted = None
             entry.sm_mask |= self._mask_for(word)
         else:
             entry.dirty = True
@@ -221,8 +236,10 @@ class SpeculativeCache:
         notice = None
         if len(bucket) >= self.ways:
             notice = self._evict_from(bucket)
+        tick = self._tick()
         bucket[line] = CacheLine(
-            line, list(data), valid_mask=full, dirty=dirty, last_use=self._tick()
+            line, list(data), valid_mask=full, dirty=dirty,
+            last_use=tick, insert_seq=tick,
         )
         return notice
 
@@ -242,7 +259,11 @@ class SpeculativeCache:
 
     def invalidate(self, line: int) -> Optional[CacheLine]:
         """Drop the whole line (inclusion victim or full invalidation)."""
-        return self._set_of(line).pop(line, None)
+        entry = self._set_of(line).pop(line, None)
+        if entry is not None and (entry.sr_mask | entry.sm_mask):
+            if self._spec.pop(line, None) is not None:
+                self._spec_sorted = None
+        return entry
 
     def invalidate_words(self, line: int, word_mask: int) -> Optional[CacheLine]:
         """Clear valid/SR/SM bits for the given words; drop the line if no
@@ -256,6 +277,9 @@ class SpeculativeCache:
         entry.sm_mask &= ~word_mask
         if not entry.valid_mask:
             del bucket[line]
+        if not (entry.sr_mask | entry.sm_mask):
+            if self._spec.pop(line, None) is not None:
+                self._spec_sorted = None
         return entry
 
     def clear_dirty(self, line: int) -> None:
@@ -266,19 +290,30 @@ class SpeculativeCache:
 
     # -- transaction boundaries ------------------------------------------
 
+    def _spec_scan(self) -> List[CacheLine]:
+        """Speculative lines in full-set scan order (set index, then bucket
+        insertion order), produced from the index without touching the
+        non-speculative resident lines."""
+        scan = self._spec_sorted
+        if scan is None:
+            n_sets = self.n_sets
+            scan = sorted(
+                self._spec.values(),
+                key=lambda entry: (entry.line % n_sets, entry.insert_seq),
+            )
+            self._spec_sorted = scan
+        return scan
+
     def speculative_lines(self) -> Iterable[CacheLine]:
-        for bucket in self._sets:
-            for entry in bucket.values():
-                if entry.speculative:
-                    yield entry
+        return self._spec_scan()
 
     def written_lines(self) -> List[CacheLine]:
         """Lines with speculative modifications (the transaction write-set)."""
-        return [entry for entry in self.speculative_lines() if entry.sm_mask]
+        return [entry for entry in self._spec_scan() if entry.sm_mask]
 
     def read_lines(self) -> List[CacheLine]:
         """Lines with speculative reads (the transaction read-set)."""
-        return [entry for entry in self.speculative_lines() if entry.sr_mask]
+        return [entry for entry in self._spec_scan() if entry.sr_mask]
 
     def commit_speculative(self) -> List[int]:
         """Transaction committed: SM data becomes dirty-owned, flags clear.
@@ -286,13 +321,14 @@ class SpeculativeCache:
         Returns the committed (written) line numbers.
         """
         committed = []
-        for bucket in self._sets:
-            for entry in bucket.values():
-                if entry.sm_mask:
-                    entry.dirty = True
-                    committed.append(entry.line)
-                entry.sm_mask = 0
-                entry.sr_mask = 0
+        for entry in self._spec_scan():
+            if entry.sm_mask:
+                entry.dirty = True
+                committed.append(entry.line)
+            entry.sm_mask = 0
+            entry.sr_mask = 0
+        self._spec.clear()
+        self._spec_sorted = None
         self.stats.commits += 1
         return committed
 
@@ -302,13 +338,14 @@ class SpeculativeCache:
         Returns the invalidated (speculatively written) line numbers.
         """
         dropped = []
-        for bucket in self._sets:
-            doomed = [line for line, entry in bucket.items() if entry.sm_mask]
-            for line in doomed:
-                del bucket[line]
-                dropped.append(line)
-            for entry in bucket.values():
-                entry.sr_mask = 0
+        for entry in self._spec_scan():
+            if entry.sm_mask:
+                del self._sets[entry.line % self.n_sets][entry.line]
+                dropped.append(entry.line)
+            entry.sm_mask = 0
+            entry.sr_mask = 0
+        self._spec.clear()
+        self._spec_sorted = None
         self.stats.aborts += 1
         return dropped
 

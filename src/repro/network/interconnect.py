@@ -14,13 +14,26 @@ unordered interconnection network"): two packets between the same pair of
 nodes may be delivered out of send order because of jitter.  Protocol
 layers must (and do) tolerate this; an ``ordered=True`` mode exists for
 differential testing.
+
+Jitter comes from an instance-owned generator, never the module-global
+``random`` state.  Two sources are available:
+
+* ``"mt"`` (default): the classic per-interconnect ``random.Random(seed)``
+  Mersenne Twister stream, drawn via a bound ``_randbelow`` — the exact
+  value sequence the original per-packet ``randint`` produced, minus two
+  layers of call overhead.
+* ``"xorshift"``: a per-(src, dst) xorshift64* stream seeded from
+  ``seed`` with splitmix64.  Cheaper and localizes each pair's jitter
+  sequence (adding a flow does not perturb other pairs' jitter), but it
+  is a *different* deterministic sequence, so simulated timings differ
+  from ``"mt"`` runs.  Opt-in for that reason.
 """
 
 from __future__ import annotations
 
-import random
 from collections import defaultdict
-from typing import Any, Callable, Dict, Iterable, Optional
+from random import Random
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.network.message import HEADER_BYTES, TRAFFIC_CLASSES, Packet
 from repro.network.topology import MeshTopology
@@ -28,40 +41,94 @@ from repro.sim.engine import Engine
 
 Handler = Callable[[Packet], None]
 
+_CLASS_INDEX = {cls: i for i, cls in enumerate(TRAFFIC_CLASSES)}
+_OVERHEAD = _CLASS_INDEX["overhead"]
+
+JITTER_SOURCES = ("mt", "xorshift")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> int:
+    """One splitmix64 step — used only to seed per-pair xorshift streams."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
 
 class TrafficStats:
-    """Byte counters by class and by receiving node (Figure 9's inputs)."""
+    """Byte counters by class and by receiving node (Figure 9's inputs).
 
-    def __init__(self) -> None:
-        self.bytes_by_class: Dict[str, int] = {cls: 0 for cls in TRAFFIC_CLASSES}
-        self.bytes_into_node: Dict[int, int] = defaultdict(int)
-        self.bytes_out_of_node: Dict[int, int] = defaultdict(int)
+    Counters are fixed-index lists on the hot path; the dict views the
+    analysis layer reads (:attr:`bytes_by_class`, :attr:`bytes_into_node`,
+    :attr:`bytes_out_of_node`) are built on demand.
+    """
+
+    __slots__ = ("_by_class", "_into", "_out", "packets", "total_hop_cycles")
+
+    def __init__(self, n_nodes: int = 0) -> None:
+        self._by_class: List[int] = [0] * len(TRAFFIC_CLASSES)
+        self._into: List[int] = [0] * n_nodes
+        self._out: List[int] = [0] * n_nodes
         self.packets = 0
         self.total_hop_cycles = 0
 
+    def _grow(self, node: int) -> None:
+        pad = node + 1 - len(self._into)
+        if pad > 0:
+            self._into.extend([0] * pad)
+            self._out.extend([0] * pad)
+
     def record(self, packet: Packet, hop_cycles: int) -> None:
         self.packets += 1
-        self.bytes_by_class[packet.traffic_class] += packet.payload_bytes
-        self.bytes_by_class["overhead"] += HEADER_BYTES
-        self.bytes_into_node[packet.dst] += packet.total_bytes
-        self.bytes_out_of_node[packet.src] += packet.total_bytes
+        by_class = self._by_class
+        by_class[_CLASS_INDEX[packet.traffic_class]] += packet.payload_bytes
+        by_class[_OVERHEAD] += HEADER_BYTES
+        total = packet.payload_bytes + HEADER_BYTES
+        if packet.dst >= len(self._into) or packet.src >= len(self._into):
+            self._grow(max(packet.dst, packet.src))
+        self._into[packet.dst] += total
+        self._out[packet.src] += total
         self.total_hop_cycles += hop_cycles
 
     def record_replica(self, packet: Packet) -> None:
         """A fabric-replicated multicast copy: one route byte of overhead."""
         self.packets += 1
-        self.bytes_by_class["overhead"] += 1
-        self.bytes_into_node[packet.dst] += 1
+        self._by_class[_OVERHEAD] += 1
+        if packet.dst >= len(self._into):
+            self._grow(packet.dst)
+        self._into[packet.dst] += 1
+
+    @property
+    def bytes_by_class(self) -> Dict[str, int]:
+        return dict(zip(TRAFFIC_CLASSES, self._by_class))
+
+    @property
+    def bytes_into_node(self) -> Dict[int, int]:
+        return defaultdict(
+            int, {node: count for node, count in enumerate(self._into) if count}
+        )
+
+    @property
+    def bytes_out_of_node(self) -> Dict[int, int]:
+        return defaultdict(
+            int, {node: count for node, count in enumerate(self._out) if count}
+        )
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.bytes_by_class.values())
+        return sum(self._by_class)
 
     def per_class_fraction(self) -> Dict[str, float]:
         total = self.total_bytes
         if not total:
             return {cls: 0.0 for cls in TRAFFIC_CLASSES}
-        return {cls: count / total for cls, count in self.bytes_by_class.items()}
+        return {
+            cls: count / total
+            for cls, count in zip(TRAFFIC_CLASSES, self._by_class)
+        }
 
 
 class Interconnect:
@@ -79,7 +146,12 @@ class Interconnect:
         jitter: int = 2,
         seed: int = 0,
         link_contention: bool = False,
+        jitter_source: str = "mt",
     ) -> None:
+        if jitter_source not in JITTER_SOURCES:
+            raise ValueError(
+                f"jitter_source must be one of {JITTER_SOURCES}, got {jitter_source!r}"
+            )
         self.engine = engine
         self.topology = MeshTopology(n_nodes)
         self.link_latency = link_latency
@@ -88,12 +160,23 @@ class Interconnect:
         self.link_bytes_per_cycle = link_bytes_per_cycle
         self.ordered = ordered
         self.jitter = jitter if not ordered else 0
-        self._rng = random.Random(seed)
+        self.jitter_source = jitter_source
+        self.seed = seed
+        self._rng = Random(seed)
+        # randint(0, j) == _randbelow(j + 1) on the same Mersenne Twister
+        # stream; binding it skips the randint/randrange wrappers while
+        # producing bit-identical draws.
+        self._draw = getattr(
+            self._rng, "_randbelow", None
+        ) or (lambda n: self._rng.randrange(n))
+        # Lazily-seeded xorshift64* state per (src, dst), for the
+        # "xorshift" jitter source.
+        self._pair_state: Dict[int, int] = {}
         self._handlers: Dict[int, Handler] = {}
-        self._egress_free_at: Dict[int, int] = defaultdict(int)
+        self._egress_free_at: List[int] = [0] * n_nodes
         self.link_contention = link_contention
         self._link_free_at: Dict[tuple, int] = defaultdict(int)
-        self.stats = TrafficStats()
+        self.stats = TrafficStats(n_nodes)
 
     # -- wiring -----------------------------------------------------------
 
@@ -133,22 +216,29 @@ class Interconnect:
             )
         now = self.engine.now + start_offset
         arrival = now
+        link_free = self._link_free_at
         for link in self.topology.route(src, dst):
-            enter = max(arrival, self._link_free_at[link])
-            self._link_free_at[link] = enter + serialization
+            enter = arrival if arrival >= link_free[link] else link_free[link]
+            link_free[link] = enter + serialization
             arrival = enter + self.link_latency
         arrival += self.router_latency + serialization
         return arrival - now
 
-    def _departure_delay(self, src: int, total_bytes: int) -> int:
-        """Egress serialization: a node injects one packet at a time."""
-        if not self.link_bytes_per_cycle:
-            return 0
-        now = self.engine.now
-        free_at = max(self._egress_free_at[src], now)
-        inject = (total_bytes + self.link_bytes_per_cycle - 1) // self.link_bytes_per_cycle
-        self._egress_free_at[src] = free_at + inject
-        return free_at - now
+    def _jitter_cycles(self, src: int, dst: int) -> int:
+        """The next jitter draw in ``[0, self.jitter]`` for this packet."""
+        if self.jitter_source == "mt":
+            return self._draw(self.jitter + 1)
+        # xorshift64* keyed by (seed, src, dst): each pair advances its
+        # own stream, so unrelated flows never perturb each other.
+        key = src * self.topology.n_nodes + dst
+        state = self._pair_state.get(key)
+        if state is None:
+            state = _splitmix64((self.seed << 32) ^ (key + 1)) or 0x2545F4914F6CDD1D
+        state ^= (state << 13) & _MASK64
+        state ^= state >> 7
+        state ^= (state << 17) & _MASK64
+        self._pair_state[key] = state
+        return (((state * 0x2545F4914F6CDD1D) & _MASK64) * (self.jitter + 1)) >> 64
 
     # -- sending ----------------------------------------------------------
 
@@ -168,21 +258,39 @@ class Interconnect:
         replicate the flit; it is not re-injected at the source).
         """
         packet = Packet(src, dst, payload, payload_bytes, traffic_class)
-        packet.send_time = self.engine.now
-        delay = 0 if replica else self._departure_delay(src, packet.total_bytes)
-        if self.link_contention and src != dst:
-            delay += self._contended_transit(src, dst, packet.total_bytes, delay)
-        else:
-            delay += self.transit_cycles(src, dst, packet.total_bytes)
-        if self.jitter:
-            delay += self._rng.randint(0, self.jitter)
-        packet.deliver_time = self.engine.now + delay
+        engine = self.engine
+        now = engine.now
+        packet.send_time = now
+        total_bytes = payload_bytes + HEADER_BYTES
+        bandwidth = self.link_bytes_per_cycle
         hops = self.topology.hops(src, dst)
+        # Egress serialization: a node injects one packet at a time.
+        if replica or not bandwidth:
+            delay = 0
+        else:
+            free_at = self._egress_free_at[src]
+            if free_at < now:
+                free_at = now
+            self._egress_free_at[src] = (
+                free_at + (total_bytes + bandwidth - 1) // bandwidth
+            )
+            delay = free_at - now
+        if self.link_contention and src != dst:
+            delay += self._contended_transit(src, dst, total_bytes, delay)
+        elif hops == 0:
+            delay += self.local_latency
+        else:
+            delay += hops * self.link_latency + self.router_latency
+            if bandwidth:
+                delay += (total_bytes + bandwidth - 1) // bandwidth
+        if self.jitter:
+            delay += self._jitter_cycles(src, dst)
+        packet.deliver_time = now + delay
         if replica:
             self.stats.record_replica(packet)
         else:
             self.stats.record(packet, hops * self.link_latency)
-        self.engine.schedule(delay, lambda: self._deliver(packet))
+        engine.schedule_call(delay, self._deliver, packet)
         return packet
 
     def multicast(

@@ -38,7 +38,7 @@ def _next_packet_id() -> int:
     return _packet_counter
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One message in flight on the interconnect."""
 

@@ -25,6 +25,16 @@ class MeshTopology:
         self.n_nodes = n_nodes
         self.cols = self._best_cols(n_nodes)
         self.rows = math.ceil(n_nodes / self.cols)
+        # Hop counts are pure Manhattan distance, so the full n x n table
+        # is tiny (64 nodes -> 4096 ints) and kills two divmods plus four
+        # abs/compare ops per packet on the send path.
+        cols = self.cols
+        coords = [divmod(node, cols) for node in range(n_nodes)]
+        self._hop_table: List[List[int]] = [
+            [abs(ra - rb) + abs(ca - cb) for (rb, cb) in coords]
+            for (ra, ca) in coords
+        ]
+        self._route_cache: dict = {}
 
     @staticmethod
     def _best_cols(n_nodes: int) -> int:
@@ -45,11 +55,11 @@ class MeshTopology:
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance — the link traversals of an XY-routed packet."""
-        if src == dst:
-            return 0
-        row_a, col_a = self.coordinates(src)
-        row_b, col_b = self.coordinates(dst)
-        return abs(row_a - row_b) + abs(col_a - col_b)
+        if 0 <= src < self.n_nodes and 0 <= dst < self.n_nodes:
+            return self._hop_table[src][dst]
+        self._check(src)
+        self._check(dst)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @property
     def diameter(self) -> int:
@@ -62,12 +72,7 @@ class MeshTopology:
         """Mean hop count over all ordered pairs of distinct nodes."""
         if self.n_nodes == 1:
             return 0.0
-        total = sum(
-            self.hops(a, b)
-            for a in range(self.n_nodes)
-            for b in range(self.n_nodes)
-            if a != b
-        )
+        total = sum(sum(row) for row in self._hop_table)
         return total / (self.n_nodes * (self.n_nodes - 1))
 
     def neighbors(self, node: int) -> List[int]:
@@ -84,7 +89,13 @@ class MeshTopology:
         return found
 
     def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        """The directed links an XY-routed packet traverses (X first)."""
+        """The directed links an XY-routed packet traverses (X first).
+
+        Routes are memoized; callers must not mutate the returned list.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         self._check(src)
         self._check(dst)
         links: List[Tuple[int, int]] = []
@@ -101,6 +112,7 @@ class MeshTopology:
             nxt = row * self.cols + col
             links.append((current, nxt))
             current = nxt
+        self._route_cache[(src, dst)] = links
         return links
 
     def _check(self, node: int) -> None:

@@ -41,19 +41,19 @@ class Event:
         self._fired = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.engine.schedule(0, lambda cb=callback: cb(self._value))
+        if callbacks:
+            self.engine.schedule_many(0, callbacks, self._value)
         return self
 
     def fire_in(self, delay: int, value: Any = None) -> "Event":
         """Fire this event ``delay`` cycles from now."""
-        self.engine.schedule(delay, lambda: self.fire(value))
+        self.engine.schedule_call(delay, self.fire, value)
         return self
 
     def subscribe(self, callback: Callable[[Any], None]) -> None:
         """Invoke ``callback(value)`` when (or if already) fired."""
         if self._fired:
-            self.engine.schedule(0, lambda: callback(self._value))
+            self.engine.schedule_call(0, callback, self._value)
         else:
             self._callbacks.append(callback)
 

@@ -44,7 +44,7 @@ class Process(Event):
             )
         self.generator = generator
         self.name = name
-        engine.schedule(0, lambda: self._step(None))
+        engine.schedule_call(0, self._step, None)
 
     def _step(self, value: Any) -> None:
         try:
@@ -53,7 +53,7 @@ class Process(Event):
             self.fire(stop.value)
             return
         if target is None:
-            self.engine.schedule(0, lambda: self._step(None))
+            self.engine.schedule_call(0, self._step, None)
         elif isinstance(target, Event):
             target.subscribe(self._step)
         else:

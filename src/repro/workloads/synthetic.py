@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect
 from dataclasses import dataclass, field, replace
+from itertools import accumulate
 from typing import Iterator, List, Sequence
 
 from repro.workloads.base import BARRIER, Transaction, Workload
@@ -78,6 +80,12 @@ class SyntheticWorkload(Workload):
         # starting high enough to avoid private regions.
         self._shared_base = 1 << 28
         self._zipf_weights = self._make_zipf(profile.hot_lines, profile.conflict_skew)
+        # Inlined rng.choices(range(n), weights=...): precompute the
+        # cumulative weights once and draw with a single rng.random() +
+        # bisect — the exact draw sequence choices() consumes.
+        self._zipf_cum = list(accumulate(self._zipf_weights))
+        self._zipf_total = self._zipf_cum[-1] + 0.0
+        self._zipf_hi = profile.hot_lines - 1
 
     @staticmethod
     def _make_zipf(n: int, skew: float) -> List[float]:
@@ -101,7 +109,7 @@ class SyntheticWorkload(Workload):
         return base + line * self.line_size + word * self.word_size
 
     def _pick_hot(self, rng: random.Random) -> int:
-        return rng.choices(range(self.profile.hot_lines), weights=self._zipf_weights)[0]
+        return bisect(self._zipf_cum, rng.random() * self._zipf_total, 0, self._zipf_hi)
 
     # -- schedule generation ------------------------------------------------
 

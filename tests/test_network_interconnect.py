@@ -155,6 +155,67 @@ def test_egress_bandwidth_serializes_departures():
     assert times[2] - times[1] == 8
 
 
+def _delivery_order(jitter_source, seed=7, sends=50):
+    engine = Engine()
+    net = Interconnect(engine, 4, ordered=False, jitter=5, seed=seed,
+                       link_bytes_per_cycle=None, jitter_source=jitter_source)
+    order = []
+    net.register(1, lambda pkt: order.append(pkt.payload))
+    for i in range(sends):
+        net.send(0, 1, i, 4, CLASS_COMMIT)
+    engine.run()
+    return order
+
+
+def test_rng_is_instance_owned_not_global():
+    import random as global_random
+
+    global_random.seed(999)
+    expected = [global_random.random() for _ in range(5)]
+    global_random.seed(999)
+    # Constructing and exercising an interconnect must not consume from
+    # (or reseed) the module-level random stream.
+    order_a = _delivery_order("mt")
+    assert [global_random.random() for _ in range(5)] == expected
+    # Same seed, fresh instance: identical draw sequence.
+    assert _delivery_order("mt") == order_a
+
+
+def test_jitter_sources_both_deterministic():
+    for source in ("mt", "xorshift"):
+        first = _delivery_order(source)
+        assert first == _delivery_order(source)
+        assert sorted(first) == list(range(50))
+
+
+def test_xorshift_jitter_reorders_and_differs_from_mt():
+    mt = _delivery_order("mt")
+    xs = _delivery_order("xorshift")
+    assert xs != list(range(50))  # jitter active
+    assert mt != xs  # genuinely different generators
+
+
+def test_invalid_jitter_source_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        Interconnect(engine, 4, jitter_source="lcg")
+
+
+def test_ordered_mode_bypasses_jitter_draws():
+    engine = Engine()
+    net = Interconnect(engine, 4, ordered=True, jitter=10, seed=3,
+                       link_bytes_per_cycle=None)
+    assert net.jitter == 0
+    order = []
+    net.register(1, lambda pkt: order.append(pkt.payload))
+    for i in range(20):
+        net.send(0, 1, i, 4, CLASS_COMMIT)
+    engine.run()
+    assert order == list(range(20))
+    # No randomness was consumed from the instance RNG.
+    assert net._rng.random() == type(net._rng)(3).random()
+
+
 def test_packet_latency_property():
     engine, net = make_net()
     seen = []

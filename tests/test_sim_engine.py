@@ -111,6 +111,73 @@ def test_events_executed_counter():
     assert engine.events_executed == 5
 
 
+def test_schedule_call_without_argument():
+    engine = Engine()
+    fired = []
+    engine.schedule_call(3, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [3]
+
+
+def test_schedule_call_passes_argument():
+    engine = Engine()
+    fired = []
+    engine.schedule_call(2, fired.append, "payload")
+    engine.schedule_call(2, fired.append, None)  # None is a real argument
+    engine.run()
+    assert fired == ["payload", None]
+
+
+def test_schedule_many_preserves_order_and_shares_argument():
+    engine = Engine()
+    order = []
+    callbacks = [lambda v, lab=label: order.append((lab, v)) for label in "abc"]
+    engine.schedule_many(4, callbacks, "x")
+    engine.run()
+    assert order == [("a", "x"), ("b", "x"), ("c", "x")]
+
+
+def test_schedule_many_zero_delay_interleaves_with_schedule():
+    engine = Engine()
+    order = []
+
+    def kickoff():
+        engine.schedule_many(0, [lambda: order.append("m1"), lambda: order.append("m2")])
+        engine.schedule(0, lambda: order.append("s"))
+
+    engine.schedule(1, kickoff)
+    engine.run()
+    assert order == ["m1", "m2", "s"]
+
+
+def test_calendar_horizon_matches_default_engine():
+    def trace(engine):
+        order = []
+        engine.schedule(9, lambda: order.append((engine.now, "far")))
+        engine.schedule(1, lambda: engine.schedule(2, lambda: order.append((engine.now, "nested"))))
+        for label in ("a", "b"):
+            engine.schedule(3, lambda lab=label: order.append((engine.now, lab)))
+        engine.schedule(0, lambda: order.append((engine.now, "zero")))
+        engine.run()
+        return order, engine.now, engine.events_executed
+
+    assert trace(Engine(calendar_horizon=8)) == trace(Engine())
+
+
+def test_calendar_horizon_peek_and_until():
+    engine = Engine(calendar_horizon=16)
+    fired = []
+    engine.schedule(5, lambda: fired.append("near"))
+    engine.schedule(40, lambda: fired.append("beyond-horizon"))
+    assert engine.peek() == 5
+    engine.run(until=20)
+    assert fired == ["near"]
+    assert engine.now == 20
+    engine.run()
+    assert fired == ["near", "beyond-horizon"]
+    assert engine.now == 40
+
+
 def test_ensure_engine_accepts_engine_and_wrapper():
     engine = Engine()
     assert ensure_engine(engine) is engine
