@@ -1,0 +1,18 @@
+"""Chaos campaign: randomized fault injection over the hardened protocol.
+
+Unlike the sibling ``bench_*`` modules — which regenerate the *paper's*
+tables and figures — this package stress-tests the non-blocking claims:
+every case runs a high-contention workload under a random
+:class:`~repro.faults.plan.FaultPlan` (drops, duplicates, delays,
+reorders, directory stalls, CPU pauses) and must terminate with exact
+serializability, invariant, and counter checks.
+
+Run it (writes ``CHAOS_report.json`` at the repo root):
+
+    PYTHONPATH=src python -m benchmarks.chaos             # 200 cases
+    PYTHONPATH=src python -m benchmarks.chaos --quick     # CI smoke
+
+Equivalently: ``python -m repro chaos --out CHAOS_report.json``.  The
+implementation lives in :mod:`repro.faults.chaos`; this package only
+pins the canonical output location and default campaign size.
+"""

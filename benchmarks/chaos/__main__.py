@@ -1,0 +1,19 @@
+"""Entry point: ``PYTHONPATH=src python -m benchmarks.chaos [args]``.
+
+Delegates to the ``repro chaos`` CLI subcommand, defaulting ``--out`` to
+``CHAOS_report.json`` at the repository root so repeated campaigns
+overwrite the canonical artifact.
+"""
+
+import pathlib
+import sys
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+if __name__ == "__main__":
+    argv = list(sys.argv[1:])
+    if not any(arg == "--out" or arg.startswith("--out=") for arg in argv):
+        argv += ["--out", str(REPO_ROOT / "CHAOS_report.json")]
+    sys.exit(main(["chaos", *argv]))

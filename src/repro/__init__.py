@@ -15,6 +15,7 @@ paper-to-module mapping.
 """
 
 from repro.core import ScalableTCCSystem, SimulationResult, SystemConfig, TidVendor
+from repro.faults import FaultPlan, NodeFault, PacketFault, WatchdogStall
 from repro.workloads import (
     APP_PROFILES,
     SyntheticWorkload,
@@ -28,12 +29,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "APP_PROFILES",
+    "FaultPlan",
+    "NodeFault",
+    "PacketFault",
     "ScalableTCCSystem",
     "SimulationResult",
     "SyntheticWorkload",
     "SystemConfig",
     "TidVendor",
     "Transaction",
+    "WatchdogStall",
     "Workload",
     "WorkloadProfile",
     "app_workload",

@@ -8,9 +8,12 @@ Usage (also ``python -m repro <command>``):
     python -m repro scaling specjbb2000 -n 1,8,32
     python -m repro latency equake --hops 1,3,8 -n 32
     python -m repro traffic swim -n 64
+    python -m repro chaos --quick
 
 Every run performs the full serial-replay serializability check before
-reporting results.
+reporting results.  All commands exit nonzero with a one-line
+diagnostic on bad arguments or failed runs; ``--debug`` re-raises the
+underlying traceback.
 """
 
 from __future__ import annotations
@@ -213,6 +216,31 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.chaos import format_report, run_chaos
+
+    cases = 20 if args.quick else args.cases
+    if cases < 1:
+        raise SystemExit("chaos: --cases must be >= 1")
+
+    def progress(outcome):
+        if args.verbose or not outcome.ok:
+            marker = "ok  " if outcome.ok else "FAIL"
+            print(f"  {marker} seed={outcome.seed} {outcome.workload}"
+                  f"@{outcome.n_processors} {outcome.outcome} "
+                  f"cycles={outcome.cycles}")
+
+    report = run_chaos(cases=cases, seed0=args.seed0, progress=progress)
+    print(format_report(report))
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.out}")
+    return 0 if report["failed"] == 0 else 1
+
+
 def cmd_traffic(args) -> int:
     name = _check_app(args.app)
     config = _config_from(args)
@@ -231,6 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Scalable TCC simulator (HPCA 2007 reproduction)",
     )
+    parser.add_argument("--debug", action="store_true",
+                        help="re-raise errors with a full traceback")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-apps", help="list the application profiles") \
@@ -271,6 +301,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_traffic)
 
     p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: randomized fault plans over "
+             "high-contention workloads, full correctness checks",
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of seeded cases to run (default 200)")
+    p.add_argument("--seed0", type=int, default=0,
+                   help="first case seed (case i uses seed0+i)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: 20 cases")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every case, not just failures")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON campaign report to FILE")
+    p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
         "perf",
         help="wall-clock kernel benchmark (events/sec; Fig. 7 @ 32 CPUs)",
     )
@@ -305,6 +352,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except BrokenPipeError:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # Every operational failure — bad config values, a workload that
+        # cannot complete, a watchdog-diagnosed stall — becomes a nonzero
+        # exit with a one-line actionable message instead of a traceback.
+        if args.debug:
+            raise
+        from repro.faults.watchdog import WatchdogStall
+
+        if isinstance(exc, WatchdogStall):
+            print(f"error: {exc}", file=sys.stderr)
+            print("hint: the run stalled; the report above shows where "
+                  "each processor and directory is stuck", file=sys.stderr)
+        else:
+            first_line = str(exc).splitlines()[0] if str(exc) else repr(exc)
+            print(f"error: {type(exc).__name__}: {first_line}",
+                  file=sys.stderr)
+            print("hint: re-run with --debug for the full traceback",
+                  file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.faults.plan import FaultPlan
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -85,6 +87,31 @@ class SystemConfig:
     paranoid: bool = False
     paranoid_interval: int = 1000
 
+    # Fault injection and resilience (repro.faults)
+    #: Faults to inject this run (None = perfect fabric, the default;
+    #: every fault-free code path is bit-identical to a build without
+    #: the faults subsystem).
+    fault_plan: Optional[FaultPlan] = None
+    #: Sequence-numbered request/ack + timeout-retry protocol hardening.
+    #: None = auto: hardened exactly when a fault plan is set.  True
+    #: forces the hardened paths on a perfect fabric (for testing);
+    #: False under faults demonstrates the watchdog catching the hang.
+    harden_protocol: Optional[bool] = None
+    #: First resend after ``retry_timeout`` cycles; each retry multiplies
+    #: the wait by ``retry_backoff`` up to ``retry_timeout_cap``.
+    retry_timeout: int = 2000
+    retry_backoff: int = 2
+    retry_timeout_cap: int = 32_000
+    #: Progress watchdog.  None = auto (armed exactly when a fault plan
+    #: is set); it raises WatchdogStall after ``watchdog_stall_checks``
+    #: consecutive ``watchdog_interval``-cycle windows without a commit.
+    watchdog: Optional[bool] = None
+    watchdog_interval: int = 50_000
+    watchdog_stall_checks: int = 4
+    #: Consecutive aborts of one transaction before the watchdog reports
+    #: a livelock episode (diagnostic only; TID retention is the cure).
+    livelock_abort_threshold: int = 64
+
     # Reproducibility
     seed: int = 0
 
@@ -97,6 +124,11 @@ class SystemConfig:
             raise ValueError(
                 f"commit_backend must be 'scalable' or 'token', got {self.commit_backend!r}"
             )
+        for name in ("line_size", "word_size", "l1_size", "l1_ways",
+                     "l2_size", "l2_ways", "page_size"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
         if self.line_size % self.word_size:
             raise ValueError("line size must be a multiple of word size")
         if self.retention_threshold < 1:
@@ -108,6 +140,71 @@ class SystemConfig:
             )
         if self.sharer_group_size < 1:
             raise ValueError("sharer group size must be >= 1")
+        for name in (
+            "l1_latency", "l2_latency", "link_latency", "router_latency",
+            "local_latency", "directory_latency", "memory_latency",
+            "network_jitter",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.link_bytes_per_cycle is not None and self.link_bytes_per_cycle < 1:
+            raise ValueError(
+                "link_bytes_per_cycle must be None (infinite) or >= 1, "
+                f"got {self.link_bytes_per_cycle}"
+            )
+        if not 0 <= self.tid_vendor_node < self.n_processors:
+            raise ValueError(
+                f"tid_vendor_node {self.tid_vendor_node} outside "
+                f"[0, {self.n_processors})"
+            )
+        if self.fault_plan is not None:
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise ValueError(
+                    f"fault_plan must be a FaultPlan, got {self.fault_plan!r}"
+                )
+            if self.commit_backend == "token":
+                raise ValueError(
+                    "fault injection requires the 'scalable' commit backend "
+                    "(token-protocol messages have no end-to-end retry)"
+                )
+        if self.retry_timeout < 1:
+            raise ValueError(f"retry_timeout must be >= 1, got {self.retry_timeout}")
+        if self.retry_backoff < 1:
+            raise ValueError(f"retry_backoff must be >= 1, got {self.retry_backoff}")
+        if self.retry_timeout_cap < self.retry_timeout:
+            raise ValueError(
+                f"retry_timeout_cap ({self.retry_timeout_cap}) must be >= "
+                f"retry_timeout ({self.retry_timeout})"
+            )
+        if self.watchdog_interval < 1:
+            raise ValueError(
+                f"watchdog_interval must be >= 1, got {self.watchdog_interval}"
+            )
+        if self.watchdog_stall_checks < 1:
+            raise ValueError(
+                f"watchdog_stall_checks must be >= 1, "
+                f"got {self.watchdog_stall_checks}"
+            )
+        if self.livelock_abort_threshold < 1:
+            raise ValueError(
+                f"livelock_abort_threshold must be >= 1, "
+                f"got {self.livelock_abort_threshold}"
+            )
+
+    @property
+    def protocol_hardened(self) -> bool:
+        """Whether the seq/ack + retry protocol paths are active."""
+        if self.harden_protocol is not None:
+            return self.harden_protocol
+        return self.fault_plan is not None
+
+    @property
+    def watchdog_active(self) -> bool:
+        """Whether the progress watchdog is armed for this run."""
+        if self.watchdog is not None:
+            return self.watchdog
+        return self.fault_plan is not None
 
     @property
     def words_per_line(self) -> int:

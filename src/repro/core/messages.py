@@ -23,6 +23,17 @@ The explicit ``MarkAck`` is our concession to the modelled *unordered*
 network: the paper assumes a transaction "completes marking" before it
 commits; acknowledging marks is the simplest way to establish that order
 without assuming point-to-point FIFO delivery.
+
+Hardening (``repro.faults``): messages whose class sets ``retryable =
+True`` are protected end-to-end — the sender re-issues them on a timeout
+until the matching reply/ack arrives, so the fault injector may drop
+them outright.  Messages without the attribute (invalidations, their
+acks, write-backs, flush requests, token traffic) carry data or
+side-effects with no end-to-end retry, so a selected drop is downgraded
+to a delay (modelling link-level retransmission).  ``seq`` / ``attempt``
+fields let receivers recognize duplicates and stale retries; they add no
+modelled payload bytes (a real header would carry them in existing
+slack), keeping fault-free traffic accounting bit-identical.
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ class LoadRequest:
 
     payload_bytes = ADDR_BYTES
     traffic_class = CLASS_OVERHEAD
+    retryable = True
 
 
 @dataclass(slots=True)
@@ -63,6 +75,7 @@ class LoadReply:
     seq: int
 
     traffic_class = CLASS_MISS
+    retryable = True
 
     @property
     def payload_bytes(self) -> int:
@@ -71,30 +84,59 @@ class LoadReply:
 
 @dataclass(slots=True)
 class TidRequest:
-    """Ask the global vendor for the next transaction ID."""
+    """Ask the global vendor for the next transaction ID.
+
+    ``seq`` (hardened protocol only) identifies the request so retries
+    reach the vendor idempotently: the vendor caches the last
+    ``(seq, tid)`` per requester and never issues a second TID for a
+    re-sent seq — the gap-free contract survives duplicated requests.
+    """
 
     requester: int
+    seq: int = 0
 
     payload_bytes = 0
     traffic_class = CLASS_OVERHEAD
+    retryable = True
 
 
 @dataclass(slots=True)
 class TidReply:
     tid: int
+    seq: int = 0
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_OVERHEAD
+    retryable = True
 
 
 @dataclass(slots=True)
 class SkipMsg:
-    """Tell a directory this TID has nothing to commit there."""
+    """Tell a directory this TID has nothing to commit there.
 
+    ``committer >= 0`` (hardened protocol) asks the directory to
+    acknowledge with :class:`SkipAck` so the sender's background retry
+    can stop; directories re-ack stale/duplicate skips.
+    """
+
+    tid: int
+    committer: int = -1
+
+    payload_bytes = TID_BYTES
+    traffic_class = CLASS_COMMIT
+    retryable = True
+
+
+@dataclass(slots=True)
+class SkipAck:
+    """Hardened protocol only: a directory saw the skip (or already had)."""
+
+    directory: int
     tid: int
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)
@@ -109,6 +151,7 @@ class ProbeRequest:
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)
@@ -120,6 +163,7 @@ class ProbeReply:
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)
@@ -136,8 +180,10 @@ class MarkMsg:
     tid: int
     lines: Dict[int, int]
     data: Optional[Dict[int, Dict[int, int]]] = None
+    attempt: int = 0
 
     traffic_class = CLASS_COMMIT
+    retryable = True
 
     @property
     def payload_bytes(self) -> int:
@@ -151,9 +197,11 @@ class MarkMsg:
 class MarkAck:
     directory: int
     tid: int
+    attempt: int = 0
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)
@@ -162,18 +210,22 @@ class CommitMsg:
 
     committer: int
     tid: int
+    attempt: int = 0
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)
 class CommitAck:
     directory: int
     tid: int
+    attempt: int = 0
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)
@@ -190,9 +242,26 @@ class AbortMsg:
     committer: int
     tid: int
     retain: bool = False
+    attempt: int = 0
+    want_ack: bool = False
 
     payload_bytes = TID_BYTES
     traffic_class = CLASS_COMMIT
+    retryable = True
+
+
+@dataclass(slots=True)
+class AbortAck:
+    """Hardened protocol only: a directory cleared (or had already
+    cleared) the attempt's marks."""
+
+    directory: int
+    tid: int
+    attempt: int = 0
+
+    payload_bytes = TID_BYTES
+    traffic_class = CLASS_COMMIT
+    retryable = True
 
 
 @dataclass(slots=True)

@@ -30,6 +30,8 @@ from repro.core.messages import (
 )
 from repro.core.tid import TidVendor
 from repro.directory.controller import DirectoryController
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.watchdog import ProgressWatchdog
 from repro.memory.address import AddressMap, FirstTouchMapping, InterleavedMapping
 from repro.memory.mainmem import MainMemory
 from repro.memory.hierarchy import PrivateHierarchy
@@ -71,6 +73,8 @@ class SimulationResult:
     memory_image: Dict[int, List[int]]
     directory_working_sets: List[int]
     events_executed: int = 0
+    #: Injector/hardening counters (None for plain fault-free runs).
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def committed_transactions(self) -> int:
@@ -122,6 +126,9 @@ class SimulationResult:
             "violations": self.total_violations,
             "committed_instructions": self.committed_instructions,
             "events_executed": self.events_executed,
+            "fault_stats": (
+                self.fault_stats.as_dict() if self.fault_stats else None
+            ),
             "breakdown": self.breakdown(),
             "breakdown_fractions": self.breakdown_fractions(),
             "bytes_per_instruction": self.bytes_per_instruction(),
@@ -186,6 +193,22 @@ class ScalableTCCSystem:
         self.barrier: Optional[Barrier] = None
         self.token = Resource(self.engine, name="commit-token")
 
+        # Fault injection and protocol hardening (repro.faults).  All of
+        # this is None/inert for plain fault-free configs, whose event
+        # streams must stay bit-identical.
+        self.fault_stats: Optional[FaultStats] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.fault_plan is not None or config.protocol_hardened:
+            self.fault_stats = FaultStats()
+        if config.fault_plan is not None:
+            self.fault_injector = FaultInjector(
+                config.fault_plan,
+                config.n_processors,
+                stats=self.fault_stats,
+                event_log=self.events,
+            )
+            self.network.fault_injector = self.fault_injector
+
         self.memories: List[MainMemory] = []
         self.directories: List[DirectoryController] = []
         self.processors: List[TCCProcessor] = []
@@ -216,6 +239,10 @@ class ScalableTCCSystem:
                 self,
             )
             directory.event_log = self.events
+            directory.fault_injector = self.fault_injector
+            directory.fault_stats = self.fault_stats
+            processor.fault_injector = self.fault_injector
+            processor.fault_stats = self.fault_stats
             self.memories.append(memory)
             self.directories.append(directory)
             self.processors.append(processor)
@@ -238,8 +265,8 @@ class ScalableTCCSystem:
             elif isinstance(msg, TidRequest):
                 if not is_vendor_node:
                     raise RuntimeError(f"TID request routed to non-vendor node {node}")
-                tid = self.vendor.next_tid(msg.requester)
-                reply = TidReply(tid)
+                tid = self.vendor.next_tid(msg.requester, msg.seq)
+                reply = TidReply(tid, msg.seq)
                 self.network.send(
                     node, msg.requester, reply, reply.payload_bytes, reply.traffic_class
                 )
@@ -269,6 +296,8 @@ class ScalableTCCSystem:
         self.barrier = Barrier(self.engine, n, name="workload-barrier")
         for node, processor in enumerate(self.processors):
             processor.process_for(iter(workload.schedule(node, n)))
+        if self.config.watchdog_active:
+            ProgressWatchdog(self, self.fault_stats).start()
         if self.config.paranoid:
             from repro.verify.invariants import check_system_invariants
 
@@ -314,6 +343,7 @@ class ScalableTCCSystem:
                 d.state.working_set_entries(d.node) for d in self.directories
             ],
             events_executed=self.engine.events_executed,
+            fault_stats=self.fault_stats,
         )
         if verify:
             checker = SerializabilityChecker(self.amap)

@@ -24,13 +24,30 @@ class TidVendor:
         self._outstanding: Dict[int, int] = {}  # tid -> owning processor
         self._resolved: Set[int] = set()
         self.issued = 0
+        # requester -> (seq, tid) of its last sequenced request, so a
+        # duplicated/retried TidRequest never burns a second TID (the
+        # gap-free contract must survive an unreliable fabric).
+        self._last_seq: Dict[int, tuple] = {}
+        self.duplicate_requests = 0
 
-    def next_tid(self, requester: int) -> int:
-        """Issue the next TID to ``requester``."""
+    def next_tid(self, requester: int, seq: int = 0) -> int:
+        """Issue the next TID to ``requester``.
+
+        ``seq > 0`` marks a sequenced (hardened-protocol) request:
+        re-asking with the same or an older seq returns the TID already
+        issued for it instead of minting a new one.
+        """
+        if seq:
+            last = self._last_seq.get(requester)
+            if last is not None and seq <= last[0]:
+                self.duplicate_requests += 1
+                return last[1]
         tid = self._next
         self._next += 1
         self.issued += 1
         self._outstanding[tid] = requester
+        if seq:
+            self._last_seq[requester] = (seq, tid)
         return tid
 
     def resolve(self, tid: int) -> None:

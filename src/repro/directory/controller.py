@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.messages import (
+    AbortAck,
     AbortMsg,
     CommitAck,
     CommitMsg,
@@ -43,6 +44,7 @@ from repro.core.messages import (
     MarkMsg,
     ProbeReply,
     ProbeRequest,
+    SkipAck,
     SkipMsg,
     TokenWrite,
     TokenWriteAck,
@@ -62,12 +64,18 @@ class ProtocolError(RuntimeError):
 
 @dataclass
 class _CommitContext:
-    """Book-keeping for the commit currently being applied."""
+    """Book-keeping for the commit currently being applied.
+
+    ``pending`` holds one ``(line, sharer)`` key per outstanding
+    invalidation, so a duplicated InvAck (delayed copy on a faulty
+    fabric) cannot double-count an acknowledgement.
+    """
 
     tid: int
     committer: int
-    pending_acks: int
+    pending: set
     started_at: int
+    attempt: int = 0
 
 
 @dataclass
@@ -163,6 +171,19 @@ class DirectoryController:
         # sharer -> expanded group-target tuple (coarse sharer vectors).
         self._group_ranges: Dict[int, tuple] = {}
 
+        # Hardened-protocol state (repro.faults); inert when
+        # ``config.protocol_hardened`` is False.
+        self._hardened = config.protocol_hardened
+        #: tid -> highest attempt whose marks were gang-cleared by a
+        #: *retained* abort: a duplicated mark from that attempt must not
+        #: pollute a newer attempt's mark set at the same TID.
+        self._aborted_attempt: Dict[int, int] = {}
+        #: tid -> highest attempt that has marked here: a retried abort
+        #: from an older attempt must not clear the newer attempt's marks.
+        self._mark_attempt: Dict[int, int] = {}
+        self.fault_injector: Optional[Any] = None
+        self.fault_stats: Optional[Any] = None
+
         #: Optional structured event log (set by the system when
         #: ``config.event_log`` is enabled).
         self.event_log = None
@@ -200,6 +221,13 @@ class DirectoryController:
         latency = self.config.directory_latency
         while True:
             msg = yield self._queue.get()
+            injector = self.fault_injector
+            if injector is not None and injector.has_dir_stalls:
+                pause = injector.dir_stall_pause(self.node, self.engine.now)
+                if pause:
+                    # Node fault: the controller goes dark until the
+                    # window ends; queued messages wait it out.
+                    yield Timeout(self.engine, pause)
             service = latency + self._dir_cache_penalty(msg)
             if service:
                 yield Timeout(self.engine, service)
@@ -296,6 +324,17 @@ class DirectoryController:
                 self.event_log.log(self.engine.now, "writeback", self.node,
                                    line=msg.line, writer=msg.writer,
                                    accepted=False)
+            if (
+                self._hardened
+                and entry.owned
+                and self._pending_forwards.get(msg.line)
+            ):
+                # The write-back meant to satisfy these forwards was
+                # overtaken by the owner's next commit of the same line
+                # and discarded as stale; recall the line again from the
+                # current owner or the forwards wedge forever.
+                self._count_stale()
+                self._send(entry.owner, FlushRequest(self.node, msg.line))
             return
         self.memory.write_words(msg.line, msg.words)
         self.stats.writebacks_accepted += 1
@@ -324,19 +363,40 @@ class DirectoryController:
     # commit protocol
     # ------------------------------------------------------------------
 
+    def _count_stale(self) -> None:
+        if self.fault_stats is not None:
+            self.fault_stats.stale_drops += 1
+        if self.event_log is not None:
+            self.event_log.log(self.engine.now, "stale", self.node)
+
     def _handle_skip(self, msg: SkipMsg) -> None:
         self.stats.skips_processed += 1
         if self._active_commit is not None and msg.tid == self._active_commit.tid:
             raise ProtocolError(
                 f"dir {self.node}: skip from TID {msg.tid} while it is committing"
             )
+        # The skip vector is naturally idempotent: duplicate and stale
+        # skips are absorbed (the bit is already set / already shifted out).
         if self.skipvec.skip(msg.tid):
             self._after_advance()
+        if msg.committer >= 0:
+            # Hardened protocol: always ack — including for stale
+            # duplicates, whose original ack may have been the loss.
+            self._send(msg.committer, SkipAck(self.node, msg.tid))
 
     def _handle_probe(self, msg: ProbeRequest) -> None:
         if self.nstid >= msg.tid:
             self._reply_probe(msg)
         else:
+            if self._hardened:
+                for pending in self._pending_probes:
+                    if (
+                        pending.requester == msg.requester
+                        and pending.tid == msg.tid
+                        and pending.writing == msg.writing
+                    ):
+                        self._count_stale()
+                        return  # duplicate of an already-deferred probe
             self._pending_probes.append(msg)
 
     def _reply_probe(self, msg: ProbeRequest) -> None:
@@ -347,22 +407,51 @@ class DirectoryController:
 
     def _handle_mark(self, msg: MarkMsg) -> None:
         if msg.tid != self.nstid:
+            if self._hardened and msg.tid < self.nstid:
+                # This TID already finished here; a late duplicate of a
+                # mark it once sent.  The committer cannot still be
+                # waiting (it drove the NSTID past the TID itself).
+                self._count_stale()
+                return
             raise ProtocolError(
                 f"dir {self.node}: mark from TID {msg.tid} while serving {self.nstid}"
             )
+        if self._hardened:
+            if msg.attempt <= self._aborted_attempt.get(msg.tid, -1):
+                # Duplicated mark from an attempt a retained abort already
+                # gang-cleared; applying it would corrupt the live
+                # attempt's mark set at the same TID.
+                self._count_stale()
+                return
+            if msg.attempt > self._mark_attempt.get(msg.tid, -1):
+                self._mark_attempt[msg.tid] = msg.attempt
         self._first_contact.setdefault(msg.tid, self.engine.now)
         for line, word_mask in msg.lines.items():
             self.state.mark_line(line, msg.tid, word_mask)
         if msg.data:
             self._wt_data[msg.tid].update(msg.data)
-        self._send(msg.committer, MarkAck(self.node, msg.tid))
+        self._send(msg.committer, MarkAck(self.node, msg.tid, msg.attempt))
 
     def _handle_commit(self, msg: CommitMsg) -> None:
         if msg.tid != self.nstid:
+            if self._hardened and msg.tid < self.nstid:
+                # The commit already applied here (only this committer's
+                # own commit can have advanced the NSTID past its TID);
+                # its ack may have been the loss — re-send it.
+                self._count_stale()
+                self._send(
+                    msg.committer, CommitAck(self.node, msg.tid, msg.attempt)
+                )
+                return
             raise ProtocolError(
                 f"dir {self.node}: commit from TID {msg.tid} while serving {self.nstid}"
             )
         if self._active_commit is not None:
+            if self._hardened and self._active_commit.tid == msg.tid:
+                # Duplicate while invalidations are outstanding; the ack
+                # follows from _finish_commit.
+                self._count_stale()
+                return
             raise ProtocolError(f"dir {self.node}: overlapping commits")
         marked = self.state.marked_for(msg.tid)
         if not marked:
@@ -370,7 +459,7 @@ class DirectoryController:
                 f"dir {self.node}: commit from TID {msg.tid} with no marked lines"
             )
         word_granularity = self.config.granularity == "word"
-        pending = 0
+        pending = set()
         for entry in marked:
             invalidatees = self._invalidation_targets(entry) - {msg.committer}
             for sharer in invalidatees:
@@ -381,7 +470,7 @@ class DirectoryController:
                         msg.tid, msg.committer,
                     ),
                 )
-                pending += 1
+                pending.add((entry.line, sharer))
             self.stats.invalidations_sent += len(invalidatees)
             if not word_granularity:
                 # Line granularity: the invalidation drops the whole line,
@@ -390,8 +479,10 @@ class DirectoryController:
                 # words and must keep receiving invalidations.
                 entry.sharers -= invalidatees
         started = self._first_contact.pop(msg.tid, self.engine.now)
-        self._active_commit = _CommitContext(msg.tid, msg.committer, pending, started)
-        if pending == 0:
+        self._active_commit = _CommitContext(
+            msg.tid, msg.committer, pending, started, msg.attempt
+        )
+        if not pending:
             self._finish_commit()
 
     def _invalidation_targets(self, entry) -> set:
@@ -421,9 +512,22 @@ class DirectoryController:
     def _handle_inv_ack(self, msg: InvAck) -> None:
         ctx = self._active_commit
         if ctx is None or msg.tid != ctx.tid:
+            if self._hardened:
+                self._count_stale()  # duplicate after the commit finished
+                self._salvage_ack_ride(msg)
+                return
             raise ProtocolError(
                 f"dir {self.node}: unexpected InvAck tid={msg.tid} "
                 f"(active={ctx.tid if ctx else None})"
+            )
+        key = (msg.line, msg.sharer)
+        if key not in ctx.pending:
+            if self._hardened:
+                self._count_stale()  # duplicated InvAck for this commit
+                self._salvage_ack_ride(msg)
+                return
+            raise ProtocolError(
+                f"dir {self.node}: InvAck for unexpected {key} (tid {msg.tid})"
             )
         if msg.wb_words:
             # The invalidated previous owner returned its surviving words;
@@ -432,9 +536,22 @@ class DirectoryController:
             entry = self.state.entry(msg.line)
             if entry.owner == msg.sharer:
                 entry.release_ownership()
-        ctx.pending_acks -= 1
-        if ctx.pending_acks == 0:
+        ctx.pending.discard(key)
+        if not ctx.pending:
             self._finish_commit()
+
+    def _salvage_ack_ride(self, msg: InvAck) -> None:
+        """A stale/duplicated InvAck can still carry the current owner's
+        only copy of a line (the flush rode the ack).  Dropping the ack is
+        right; dropping the data is not — route it through the ordinary
+        write-back acceptance rule instead."""
+        if msg.wb_words:
+            self._handle_writeback(
+                WriteBackMsg(
+                    msg.sharer, msg.line, msg.wb_words, msg.wb_tid,
+                    remove=False,
+                )
+            )
 
     def _finish_commit(self) -> None:
         ctx = self._active_commit
@@ -462,7 +579,7 @@ class DirectoryController:
         if self.event_log is not None:
             self.event_log.log(self.engine.now, "dir_commit", self.node,
                                tid=ctx.tid, committer=ctx.committer)
-        self._send(ctx.committer, CommitAck(self.node, ctx.tid))
+        self._send(ctx.committer, CommitAck(self.node, ctx.tid, ctx.attempt))
         self.state.drop_marks(ctx.tid)
         self._active_commit = None
         self.skipvec.complete_current()
@@ -474,6 +591,27 @@ class DirectoryController:
             raise ProtocolError(
                 f"dir {self.node}: abort from TID {msg.tid} after its commit message"
             )
+        if self._hardened:
+            if msg.tid < self.nstid:
+                # The TID already finished here; just re-ack (the first
+                # ack may have been the loss the retry is covering).
+                self._count_stale()
+                if msg.want_ack:
+                    self._send(
+                        msg.committer, AbortAck(self.node, msg.tid, msg.attempt)
+                    )
+                return
+            if msg.attempt < self._mark_attempt.get(msg.tid, -1):
+                # A retried abort from an older attempt must not clear
+                # the newer attempt's marks at the same (retained) TID.
+                self._count_stale()
+                if msg.want_ack:
+                    self._send(
+                        msg.committer, AbortAck(self.node, msg.tid, msg.attempt)
+                    )
+                return
+            if msg.retain and msg.attempt > self._aborted_attempt.get(msg.tid, -1):
+                self._aborted_attempt[msg.tid] = msg.attempt
         for entry in self.state.marked_for(msg.tid):
             entry.clear_mark()
         self.state.drop_marks(msg.tid)
@@ -483,6 +621,8 @@ class DirectoryController:
         if self.event_log is not None:
             self.event_log.log(self.engine.now, "dir_abort", self.node,
                                tid=msg.tid, retain=msg.retain)
+        if msg.want_ack:
+            self._send(msg.committer, AbortAck(self.node, msg.tid, msg.attempt))
         if not msg.retain and self.skipvec.skip(msg.tid):
             self._after_advance()
         else:
@@ -494,6 +634,12 @@ class DirectoryController:
 
     def _after_advance(self) -> None:
         nstid = self.nstid
+        if self._hardened and (self._aborted_attempt or self._mark_attempt):
+            # Attempt-staleness records for passed TIDs can never match a
+            # live message again (tid < nstid is caught first); drop them.
+            for table in (self._aborted_attempt, self._mark_attempt):
+                for tid in [t for t in table if t < nstid]:
+                    del table[tid]
         if self._pending_probes:
             ready = [p for p in self._pending_probes if nstid >= p.tid]
             if ready:

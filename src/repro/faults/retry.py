@@ -1,0 +1,98 @@
+"""Timeout-driven resend with capped exponential backoff.
+
+The hardened protocol never blocks on a single delivery: every
+commit-critical request (TID request, probe, mark, commit, load) gets a
+:class:`Retrier` that re-sends it until a ``done`` predicate holds, and
+every fire-and-forget broadcast that the protocol *depends* on for
+global progress (skips, aborts) gets an :class:`AckTracker` that
+re-sends to exactly the directories that have not acknowledged yet.
+
+Both helpers live entirely in the event queue — the commit FSM keeps
+its shape and simply observes acks arriving as usual.  Timers that
+outlive their request degrade to no-ops (the ``done`` check runs before
+any resend), so a quiesced system drains naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Set
+
+
+class Retrier:
+    """Re-send one request until ``done()`` returns True.
+
+    The first check fires ``base_timeout`` cycles after creation; each
+    retry doubles (``backoff``) the wait up to ``cap``.  There is no
+    retry limit: the non-blocking guarantee wants eventual delivery, and
+    the progress watchdog — not a give-up path — owns hang detection.
+    """
+
+    __slots__ = ("engine", "resend", "done", "timeout", "backoff", "cap",
+                 "retries", "stats")
+
+    def __init__(
+        self,
+        engine: Any,
+        resend: Callable[[], None],
+        done: Callable[[], bool],
+        base_timeout: int,
+        backoff: int,
+        cap: int,
+        stats: Any = None,
+    ) -> None:
+        self.engine = engine
+        self.resend = resend
+        self.done = done
+        self.timeout = base_timeout
+        self.backoff = backoff
+        self.cap = cap
+        self.retries = 0
+        self.stats = stats
+        engine.schedule_call(self.timeout, self._tick)
+
+    def _tick(self) -> None:
+        if self.done():
+            return
+        self.resend()
+        self.retries += 1
+        if self.stats is not None:
+            self.stats.retries += 1
+        self.timeout = min(self.cap, self.timeout * self.backoff)
+        self.engine.schedule_call(self.timeout, self._tick)
+
+
+class AckTracker:
+    """Background re-send of a broadcast until every target acks.
+
+    ``make_send(node)`` must (re)issue the message to one node.  The
+    initial broadcast is the caller's job (it usually multicasts);
+    the tracker only handles the retry tail.
+    """
+
+    __slots__ = ("pending", "_retrier")
+
+    def __init__(
+        self,
+        engine: Any,
+        targets: Iterable[int],
+        make_send: Callable[[int], None],
+        base_timeout: int,
+        backoff: int,
+        cap: int,
+        stats: Any = None,
+    ) -> None:
+        self.pending: Set[int] = set(targets)
+
+        def resend() -> None:
+            for node in sorted(self.pending):
+                make_send(node)
+
+        self._retrier = Retrier(
+            engine, resend, self.all_acked, base_timeout, backoff, cap, stats
+        )
+
+    def acked(self, node: int) -> None:
+        self.pending.discard(node)
+
+    def all_acked(self) -> bool:
+        return not self.pending

@@ -41,6 +41,13 @@ class CacheLine:
     dirty: bool = False
     sr_mask: int = 0
     sm_mask: int = 0
+    #: TID of the local commit that produced the current dirty data and
+    #: the word mask that commit wrote (hardened protocol only; -1/0
+    #: when untracked).  An invalidation carrying an older TID must not
+    #: touch those words: they were serialized *after* its commit, and
+    #: destroying them would drop the only architectural copy.
+    commit_tid: int = -1
+    commit_sm_mask: int = 0
     last_use: int = 0
     #: Monotone stamp from the owning cache at bucket insertion, used to
     #: reproduce dict-insertion scan order without scanning.

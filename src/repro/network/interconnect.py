@@ -177,6 +177,10 @@ class Interconnect:
         self.link_contention = link_contention
         self._link_free_at: Dict[tuple, int] = defaultdict(int)
         self.stats = TrafficStats(n_nodes)
+        #: Optional :class:`repro.faults.injector.FaultInjector`; when set
+        #: it owns final delivery scheduling (drop/dup/delay/reorder).
+        #: None (the default) keeps the fault-free fast path untouched.
+        self.fault_injector = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -290,7 +294,10 @@ class Interconnect:
             self.stats.record_replica(packet)
         else:
             self.stats.record(packet, hops * self.link_latency)
-        engine.schedule_call(delay, self._deliver, packet)
+        if self.fault_injector is None:
+            engine.schedule_call(delay, self._deliver, packet)
+        else:
+            self.fault_injector.dispatch(engine, self._deliver, packet, delay)
         return packet
 
     def multicast(

@@ -44,6 +44,7 @@ from repro.core.messages import (
     SkipMsg,
     TidRequest,
 )
+from repro.faults.retry import AckTracker, Retrier
 from repro.sim import Event
 
 
@@ -57,12 +58,32 @@ class CommitEngine:
         """Handle a backend-specific message; False if not recognized."""
         return False
 
+    def _retry(self, resend, done) -> None:
+        """Arm a timeout-retry for one request (hardened protocol only)."""
+        proc = self.proc
+        cfg = proc.config
+        Retrier(proc.engine, resend, done, cfg.retry_timeout,
+                cfg.retry_backoff, cfg.retry_timeout_cap, proc.fault_stats)
+
     def acquire_tid(self):
         """Fetch a TID from the global vendor (a network round trip)."""
         proc = self.proc
         event = Event(proc.engine)
         proc._tid_event = event
-        proc._send(proc.config.tid_vendor_node, TidRequest(proc.node))
+        if proc._hardened:
+            # Sequenced request: the vendor dedups retries by (node, seq),
+            # so resending after a drop never mints a second TID.
+            proc._tid_seq += 1
+            seq = proc._tid_seq
+            proc._send(proc.config.tid_vendor_node, TidRequest(proc.node, seq))
+            self._retry(
+                lambda: proc._send(
+                    proc.config.tid_vendor_node, TidRequest(proc.node, seq)
+                ),
+                lambda: event.fired,
+            )
+        else:
+            proc._send(proc.config.tid_vendor_node, TidRequest(proc.node))
         tid = yield event
         proc.current_tid = tid
         proc.probe_replies = {}
@@ -110,6 +131,8 @@ class ScalableCommitEngine(CommitEngine):
         proc.stats.commit_tid_cycles += proc.engine.now - phase_start
         proc.mark_acks = set()
         proc.commit_acks = set()
+        hardened = proc._hardened
+        attempt = proc._attempt_id
 
         skip_targets = [d for d in range(cfg.n_processors) if d not in writing]
         skips_sent = False
@@ -117,14 +140,13 @@ class ScalableCommitEngine(CommitEngine):
             # A retained TID must keep every directory waiting at `tid`
             # until we actually commit, so its skips are deferred to the
             # validation point.
-            if skip_targets:
-                proc.multicast(skip_targets, SkipMsg(tid))
+            self._send_skips(tid, skip_targets)
             skips_sent = True
 
         for directory in writing:
-            proc._send(directory, ProbeRequest(proc.node, tid, True))
+            self._send_probe(directory, tid, True, hardened)
         for directory in sharing - writing:
-            proc._send(directory, ProbeRequest(proc.node, tid, False))
+            self._send_probe(directory, tid, False, hardened)
 
         marks_sent: Set[int] = set()
         probe_start = proc.engine.now
@@ -143,15 +165,23 @@ class ScalableCommitEngine(CommitEngine):
                         f"cpu {proc.node}: writing probe for tid {tid} "
                         f"answered with NSTID {reply}"
                     )
-                proc._send(
-                    directory,
-                    MarkMsg(
-                        proc.node,
-                        tid,
-                        marks_by_dir[directory],
-                        data_by_dir.get(directory),
-                    ),
+                mark = MarkMsg(
+                    proc.node,
+                    tid,
+                    marks_by_dir[directory],
+                    data_by_dir.get(directory),
+                    attempt,
                 )
+                proc._send(directory, mark)
+                if hardened:
+                    self._retry(
+                        lambda d=directory, m=mark: proc._send(d, m),
+                        lambda d=directory: (
+                            proc.current_tid != tid
+                            or proc._attempt_id != attempt
+                            or d in proc.mark_acks
+                        ),
+                    )
                 marks_sent.add(directory)
             writing_ready = marks_sent == writing and proc.mark_acks >= writing
             sharing_ready = all(
@@ -166,10 +196,18 @@ class ScalableCommitEngine(CommitEngine):
         proc.validated = True
         proc.stats.commit_probe_cycles += proc.engine.now - probe_start
         ack_start = proc.engine.now
-        if not skips_sent and skip_targets:
-            proc.multicast(skip_targets, SkipMsg(tid))
+        if not skips_sent:
+            self._send_skips(tid, skip_targets)
         for directory in writing:
-            proc._send(directory, CommitMsg(proc.node, tid))
+            commit_msg = CommitMsg(proc.node, tid, attempt)
+            proc._send(directory, commit_msg)
+            if hardened:
+                self._retry(
+                    lambda d=directory, m=commit_msg: proc._send(d, m),
+                    lambda d=directory: (
+                        proc.current_tid != tid or d in proc.commit_acks
+                    ),
+                )
         while not proc.commit_acks >= writing:
             yield proc.wait()
             if proc.violated:
@@ -201,17 +239,75 @@ class ScalableCommitEngine(CommitEngine):
             yield proc.wait()
         if proc.retained:
             # Keep the TID: clear any marks, leave every directory waiting.
-            for directory in marks_sent:
-                proc._send(directory, AbortMsg(proc.node, tid, retain=True))
+            self._send_aborts(tid, marks_sent, retain=True)
             return
-        for directory in writing:
-            proc._send(directory, AbortMsg(proc.node, tid, retain=False))
+        self._send_aborts(tid, writing, retain=False)
         if not skips_sent:
             skip_targets = [
                 d for d in range(proc.config.n_processors) if d not in writing
             ]
-            if skip_targets:
-                proc.multicast(skip_targets, SkipMsg(tid))
+            self._send_skips(tid, skip_targets)
         proc.system.vendor.resolve(tid)
         proc.current_tid = None
         proc.probe_replies = {}
+
+    # -- hardened-protocol send helpers ---------------------------------
+    #
+    # Each helper degenerates to the bare historical send when the
+    # protocol is not hardened (``config.protocol_hardened`` False), so
+    # fault-free runs stay bit-identical.
+
+    def _send_skips(self, tid: int, targets) -> None:
+        proc = self.proc
+        if not targets:
+            return
+        if not proc._hardened:
+            proc.multicast(targets, SkipMsg(tid))
+            return
+        cfg = proc.config
+        proc.multicast(targets, SkipMsg(tid, proc.node))
+        proc._skip_trackers[tid] = AckTracker(
+            proc.engine, targets,
+            lambda d: proc._send(d, SkipMsg(tid, proc.node)),
+            cfg.retry_timeout, cfg.retry_backoff, cfg.retry_timeout_cap,
+            proc.fault_stats,
+        )
+
+    def _send_probe(self, directory: int, tid: int, writing: bool,
+                    hardened: bool) -> None:
+        proc = self.proc
+        probe = ProbeRequest(proc.node, tid, writing)
+        proc._send(directory, probe)
+        if hardened:
+            self._retry(
+                lambda: proc._send(directory, probe),
+                lambda: (
+                    proc.current_tid != tid
+                    or (directory, writing) in proc.probe_replies
+                ),
+            )
+
+    def _send_aborts(self, tid: int, targets, retain: bool) -> None:
+        proc = self.proc
+        if not targets:
+            return
+        attempt = proc._attempt_id
+        hardened = proc._hardened
+        for directory in targets:
+            proc._send(
+                directory,
+                AbortMsg(proc.node, tid, retain=retain, attempt=attempt,
+                         want_ack=hardened),
+            )
+        if hardened:
+            cfg = proc.config
+            proc._abort_trackers[(tid, attempt)] = AckTracker(
+                proc.engine, targets,
+                lambda d: proc._send(
+                    d,
+                    AbortMsg(proc.node, tid, retain=retain, attempt=attempt,
+                             want_ack=True),
+                ),
+                cfg.retry_timeout, cfg.retry_backoff, cfg.retry_timeout_cap,
+                proc.fault_stats,
+            )

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.messages import (
+    AbortAck,
     CommitAck,
     FlushRequest,
     Invalidation,
@@ -31,9 +32,11 @@ from repro.core.messages import (
     LoadRequest,
     MarkAck,
     ProbeReply,
+    SkipAck,
     TidReply,
     WriteBackMsg,
 )
+from repro.faults.retry import Retrier
 from repro.memory.address import AddressMap
 from repro.memory.hierarchy import FLUSH_FIRST, PrivateHierarchy
 from repro.network.interconnect import Interconnect
@@ -79,6 +82,20 @@ class TCCProcessor:
         self.validated = False
         self.retained = False
         self._consecutive_violations = 0
+        #: Attempt counter, tagged onto marks/commits/aborts so the
+        #: hardened directory can tell a live attempt's messages from a
+        #: duplicated retry of an aborted one.  Maintained unconditionally
+        #: (cheap); only *checked* when the protocol is hardened.
+        self._attempt_id = 0
+
+        # Hardened-protocol state (repro.faults): all inert when
+        # ``config.protocol_hardened`` is False.
+        self._hardened = config.protocol_hardened
+        self._tid_seq = 0
+        self._skip_trackers: Dict[int, Any] = {}
+        self._abort_trackers: Dict[Tuple[int, int], Any] = {}
+        self.fault_injector: Optional[Any] = None
+        self.fault_stats: Optional[Any] = None
 
         # Execution-attempt accounting
         self._local_cycles = 0
@@ -129,13 +146,33 @@ class TCCProcessor:
         elif kind is ProbeReply:
             self._on_probe_reply(msg)
         elif kind is MarkAck:
+            if self._hardened and (
+                msg.tid != self.current_tid or msg.attempt != self._attempt_id
+            ):
+                self._count_stale()
+                return
             self.mark_acks.add(msg.directory)
             self._notify()
         elif kind is CommitAck:
+            if self._hardened and msg.tid != self.current_tid:
+                self._count_stale()
+                return
             self.commit_acks.add(msg.directory)
             self._notify()
         elif kind is TidReply:
             self._on_tid_reply(msg)
+        elif kind is SkipAck:
+            tracker = self._skip_trackers.get(msg.tid)
+            if tracker is not None:
+                tracker.acked(msg.directory)
+                if tracker.all_acked():
+                    del self._skip_trackers[msg.tid]
+        elif kind is AbortAck:
+            tracker = self._abort_trackers.get((msg.tid, msg.attempt))
+            if tracker is not None:
+                tracker.acked(msg.directory)
+                if tracker.all_acked():
+                    del self._abort_trackers[(msg.tid, msg.attempt)]
         else:
             handled = self.commit_engine.deliver(msg)
             if not handled:
@@ -145,10 +182,26 @@ class TCCProcessor:
 
     def _on_tid_reply(self, msg: TidReply) -> None:
         event = self._tid_event
+        if self._hardened and msg.seq != self._tid_seq:
+            # A delayed reply to an *earlier*, retried request arriving
+            # after its transaction already got (and resolved) that TID.
+            # Consuming it here would hijack the current request's event
+            # with a dead TID; the current reply carries the current seq.
+            self._count_stale()
+            return
         if event is None:
+            if self._hardened:
+                # Duplicate of an already-consumed reply (vendor dedup
+                # guarantees a retried request carries the same TID).
+                self._count_stale()
+                return
             raise ProcessorProtocolError(f"cpu {self.node}: unsolicited TID {msg.tid}")
         self._tid_event = None
         event.fire(msg.tid)
+
+    def _count_stale(self) -> None:
+        if self.fault_stats is not None:
+            self.fault_stats.stale_drops += 1
 
     def _on_probe_reply(self, msg: ProbeReply) -> None:
         if msg.tid != self.current_tid:
@@ -207,6 +260,29 @@ class TCCProcessor:
         entry = self.hierarchy.peek(line)
         wb_words: Optional[Dict[int, int]] = None
         wb_tid = self.latest_tid
+        if self._hardened and entry is not None:
+            # Words this cache wrote under a TID *later* than the
+            # invalidation's commit are immune to it: that commit
+            # serialized first, so our values subsume its writes.  A
+            # duplicated or delayed invalidation from it must not clear
+            # them (or flush ownership) — the words it would destroy can
+            # be the only architectural copy of the line.  Words outside
+            # the protected set are invalidated normally.
+            protected = 0
+            if (
+                self.validated
+                and self.current_tid is not None
+                and self.current_tid > inv_tid
+            ):
+                protected |= entry.sm_mask
+            if entry.dirty and entry.commit_tid > inv_tid:
+                protected |= entry.commit_sm_mask
+            stale_bits = word_mask & protected
+            if stale_bits:
+                self._count_stale()
+                word_mask &= ~protected
+                if not word_mask:
+                    return wb_words, wb_tid
         if entry is not None:
             overlap = word_mask & (entry.sr_mask | entry.sm_mask)
             if overlap and self.in_transaction and not self.validated:
@@ -278,7 +354,17 @@ class TCCProcessor:
     def local_commit(self) -> List[int]:
         """Make speculative state architectural and serve any flush-data
         requests that arrived while the global commit was completing."""
+        if self._hardened:
+            written = {
+                e.line: e.sm_mask for e in self.hierarchy.written_lines()
+            }
         committed = self.hierarchy.commit_speculative()
+        if self._hardened:
+            for line in committed:
+                entry = self.hierarchy.peek(line)
+                if entry is not None:
+                    entry.commit_tid = self.latest_tid
+                    entry.commit_sm_mask = written.get(line, 0)
         if self.config.write_through_commit:
             # Data travelled with the marks; nothing stays dirty-owned.
             for line in committed:
@@ -349,6 +435,12 @@ class TCCProcessor:
                 return
 
     def _attempt(self, tx: Transaction):
+        injector = self.fault_injector
+        if injector is not None and injector.has_cpu_pauses:
+            pause = injector.cpu_pause(self.node, self.engine.now)
+            if pause:
+                yield Timeout(self.engine, pause)
+        self._attempt_id += 1
         self.violated = False
         self.validated = False
         self.in_transaction = True
@@ -507,6 +599,22 @@ class TCCProcessor:
             self.event_log.log(self.engine.now, "load_miss", self.node,
                                line=line, home=home)
         self._send(home, LoadRequest(self.node, line, self._load_seq))
+        if self._hardened:
+            # End-to-end load retry: re-send with the *current* seq so a
+            # poison-retry (which bumps the seq itself) is not raced.
+            event = self._load_event
+
+            def resend() -> None:
+                self._send(
+                    self._load_home,
+                    LoadRequest(self.node, self._load_line, self._load_seq),
+                )
+
+            Retrier(
+                self.engine, resend, lambda: event.fired,
+                self.config.retry_timeout, self.config.retry_backoff,
+                self.config.retry_timeout_cap, self.fault_stats,
+            )
         yield self._load_event  # the reply handler fills the cache
         self._attempt_miss += self.engine.now - started
 

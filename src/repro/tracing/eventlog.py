@@ -18,6 +18,10 @@ CATEGORIES = (
     "dir_commit",    # directory finished applying a commit (fields: tid)
     "dir_abort",     # directory gang-cleared marks (fields: tid)
     "writeback",     # directory accepted or dropped a write-back
+    "fault",         # injected packet fault (fields: kind, msg, dst)
+    "retry",         # hardened protocol re-sent a request (fields: msg)
+    "stale",         # duplicate/stale protocol message ignored
+    "watchdog",      # progress watchdog diagnostic (fields: kind, ...)
 )
 
 

@@ -1,0 +1,82 @@
+"""Tests for the chaos harness (repro.faults.chaos)."""
+
+import dataclasses
+
+from repro.faults.chaos import (
+    ChaosCase,
+    format_report,
+    make_case,
+    random_fault_plan,
+    run_case,
+    run_chaos,
+)
+
+
+def test_make_case_is_deterministic():
+    assert make_case(42) == make_case(42)
+    assert make_case(42) != make_case(43)
+
+
+def test_random_fault_plans_are_bounded():
+    for seed in range(30):
+        plan = random_fault_plan(seed, n_nodes=8)
+        assert plan.packet_faults  # always at least one packet rule
+        for rule in plan.packet_faults:
+            assert rule.probability <= 0.10
+        for fault in plan.node_faults:
+            assert fault.node < 8
+            assert fault.duration <= 4_000
+
+
+def test_run_case_is_replayable():
+    case = make_case(3)
+    first = run_case(case)
+    second = run_case(case)
+    assert first.ok, first.detail
+    assert (first.cycles, first.committed, first.violations) == (
+        second.cycles, second.committed, second.violations
+    )
+    assert first.fault_stats == second.fault_stats
+
+
+def test_small_campaign_passes_clean():
+    report = run_chaos(cases=6, seed0=500)
+    assert report["failed"] == 0, report["failures"]
+    assert report["passed"] == 6
+    assert report["fault_totals"]["packets_seen"] > 0
+    text = format_report(report)
+    assert "6/6 passed" in text
+    assert "zero hangs" in text
+
+
+def test_failed_expectation_is_reported_not_raised():
+    case = dataclasses.replace(make_case(0), expected_commits=99_999)
+    outcome = run_case(case)
+    assert outcome.outcome == "check-failed"
+    assert "expected 99999" in outcome.detail
+    report = {
+        "cases": 1, "seed0": 0, "passed": 0, "failed": 1,
+        "failures": [outcome.as_dict()], "fault_totals": {},
+        "wall_seconds": 0.0, "results": [outcome.as_dict()],
+    }
+    assert "replay: run_case(make_case(0))" in format_report(report)
+
+
+def test_case_results_serialize():
+    outcome = run_case(make_case(1))
+    as_dict = outcome.as_dict()
+    import json
+
+    json.dumps(as_dict)
+    assert as_dict["outcome"] == "ok"
+    assert as_dict["seed"] == 1
+
+
+def test_historical_wedge_seeds_stay_fixed():
+    """Regression: seeds that wedged pending forwards before hardening —
+    a write-back stale-dropped after the owner's next commit of the same
+    line (152) and a duplicated invalidation from an older commit
+    destroying the owner's only copy (379)."""
+    for seed in (152, 379):
+        result = run_case(make_case(seed))
+        assert result.outcome == "ok", f"seed {seed}: {result.detail}"

@@ -87,3 +87,46 @@ def test_unknown_app_exits_with_message(capsys):
 def test_bad_count_list_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["scaling", "barnes", "--counts", "1,x"])
+
+
+def test_chaos_small_campaign(capsys):
+    code, out = run_cli(capsys, "chaos", "--cases", "3", "--seed0", "200")
+    assert code == 0
+    assert "3/3 passed" in out
+    assert "zero hangs" in out
+
+
+def test_chaos_verbose_lists_cases(capsys):
+    code, out = run_cli(capsys, "chaos", "--cases", "2", "--verbose")
+    assert code == 0
+    assert out.count("ok   seed=") == 2
+
+
+def test_chaos_writes_json_report(capsys, tmp_path):
+    out_file = tmp_path / "chaos.json"
+    code, out = run_cli(capsys, "chaos", "--cases", "2", "--out", str(out_file))
+    assert code == 0
+    import json
+
+    report = json.loads(out_file.read_text())
+    assert report["cases"] == 2
+    assert report["failed"] == 0
+
+
+def test_chaos_rejects_bad_case_count(capsys):
+    with pytest.raises(SystemExit, match="cases"):
+        main(["chaos", "--cases", "0"])
+
+
+def test_bad_config_exits_nonzero_with_one_line_error(capsys):
+    code = main(["run", "barnes", "-n", "-3"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "error: ValueError: need at least one processor" in captured.err
+    assert "--debug" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_debug_flag_reraises(capsys):
+    with pytest.raises(ValueError, match="at least one processor"):
+        main(["--debug", "run", "barnes", "-n", "-3"])

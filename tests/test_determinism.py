@@ -46,3 +46,47 @@ def test_different_seeds_differ():
 def test_xorshift_jitter_mode_is_deterministic():
     kwargs = {"network_jitter_source": "xorshift"}
     assert _fingerprint(8, seed=3, **kwargs) == _fingerprint(8, seed=3, **kwargs)
+
+
+# Historical fingerprints, pinned.  The fault-injection subsystem and
+# the hardened protocol paths must be *bit-inert* when no fault plan is
+# configured: if any of these numbers move, a supposedly-gated change
+# leaked into the fault-free event stream.
+_PINNED = {
+    8: dict(cycles=29_208, committed=64, violations=0,
+            instructions=121_032, traffic_bytes=68_681, packets=3_120),
+    32: dict(cycles=11_303, committed=64, violations=2,
+             instructions=126_353, traffic_bytes=75_807, packets=4_872),
+}
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_fault_free_runs_match_pinned_fingerprints(n):
+    fingerprint = _fingerprint(n, seed=0)
+    observed = {key: fingerprint[key] for key in _PINNED[n]}
+    assert observed == _PINNED[n]
+
+
+def _drop_dup_plan(seed):
+    from repro.faults import FaultPlan, PacketFault
+
+    return FaultPlan(
+        packet_faults=(
+            PacketFault("drop", 0.05),
+            PacketFault("dup", 0.05, delay=120),
+            PacketFault("delay", 0.03, delay=150),
+            PacketFault("reorder", 0.03, delay=200),
+        ),
+        seed=seed,
+    )
+
+
+def test_faulty_runs_are_bit_identical():
+    kwargs = {"fault_plan": _drop_dup_plan(11)}
+    assert _fingerprint(8, seed=0, **kwargs) == _fingerprint(8, seed=0, **kwargs)
+
+
+def test_fault_plan_seed_changes_the_run():
+    a = _fingerprint(8, seed=0, fault_plan=_drop_dup_plan(11))
+    b = _fingerprint(8, seed=0, fault_plan=_drop_dup_plan(12))
+    assert a != b

@@ -337,3 +337,165 @@ def test_quiescent_check_passes_when_clean(rig):
     rig.send(1, m.SkipMsg(tid=1))
     rig.run()
     rig.dir.quiescent_check()
+
+
+# ----------------------------------------------------------------------
+# NSTID gap handling and hardened-protocol stale/duplicate paths
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def hrig():
+    """A rig with the hardened (seq/ack + retry-tolerant) protocol on."""
+    return Rig(harden_protocol=True)
+
+
+def test_probe_waits_across_out_of_order_skip_gap(rig):
+    # Skips for 2 and 3 arrive before 1: the probe for TID 4 must stay
+    # deferred across the gap and fire only when 1 closes it.
+    rig.send(1, m.ProbeRequest(requester=1, tid=4, writing=True))
+    rig.send(2, m.SkipMsg(tid=3))
+    rig.send(2, m.SkipMsg(tid=2))
+    rig.run()
+    assert rig.of_type(1, m.ProbeReply) == []
+    assert rig.dir.nstid == 1
+    rig.send(2, m.SkipMsg(tid=1))
+    rig.run()
+    replies = rig.of_type(1, m.ProbeReply)
+    assert len(replies) == 1
+    assert replies[0].nstid == 4
+
+
+def test_deferred_probes_across_gap_release_in_tid_order(rig):
+    rig.send(1, m.ProbeRequest(requester=1, tid=3, writing=False))
+    rig.send(2, m.ProbeRequest(requester=2, tid=2, writing=False))
+    rig.run()
+    rig.send(3, m.SkipMsg(tid=1))
+    rig.run()
+    # NSTID jumped 1 -> 2: the sharing probe for 2 answers with 2, and
+    # the one for 3 is still waiting.
+    assert [r.nstid for r in rig.of_type(2, m.ProbeReply)] == [2]
+    assert rig.of_type(1, m.ProbeReply) == []
+    rig.send(3, m.SkipMsg(tid=2))
+    rig.run()
+    assert [r.nstid for r in rig.of_type(1, m.ProbeReply)] == [3]
+
+
+def test_skip_acked_and_duplicate_reacked(hrig):
+    hrig.send(1, m.SkipMsg(tid=1, committer=1))
+    hrig.run()
+    assert len(hrig.of_type(1, m.SkipAck)) == 1
+    assert hrig.dir.nstid == 2
+    # A retransmitted skip (its ack was lost) must be re-acked so the
+    # sender's tracker stops, and must not advance anything.
+    hrig.send(1, m.SkipMsg(tid=1, committer=1))
+    hrig.run()
+    assert len(hrig.of_type(1, m.SkipAck)) == 2
+    assert hrig.dir.nstid == 2
+
+
+def test_duplicate_mark_is_idempotent_and_reacked(hrig):
+    mark = m.MarkMsg(committer=1, tid=1, lines={5: 0b11}, attempt=1)
+    hrig.send(1, mark)
+    hrig.run()
+    hrig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b11}, attempt=1))
+    hrig.run()
+    assert len(hrig.of_type(1, m.MarkAck)) == 2
+    assert hrig.dir.state.entry(5).marked_words == 0b11
+
+
+def test_stale_mark_from_aborted_attempt_dropped(hrig):
+    # Attempt 2 aborted (retained); a straggler mark from attempt 1
+    # arriving afterwards must not resurrect marks.
+    hrig.send(1, m.AbortMsg(committer=1, tid=1, retain=True, attempt=2,
+                            want_ack=True))
+    hrig.run()
+    assert len(hrig.of_type(1, m.AbortAck)) == 1
+    hrig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}, attempt=1))
+    hrig.run()
+    assert hrig.of_type(1, m.MarkAck) == []
+    assert not hrig.dir.state.entry(5).marked
+    # The committer's next attempt marks normally.
+    hrig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}, attempt=3))
+    hrig.run()
+    assert len(hrig.of_type(1, m.MarkAck)) == 1
+    assert hrig.dir.state.entry(5).marked
+
+
+def test_commit_for_past_tid_is_reacked_not_replayed(hrig):
+    hrig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}, attempt=1))
+    hrig.send(1, m.CommitMsg(committer=1, tid=1, attempt=1))
+    hrig.run()
+    assert hrig.dir.nstid == 2
+    assert len(hrig.of_type(1, m.CommitAck)) == 1
+    # The commit's ack was lost; the retransmitted commit arrives after
+    # NSTID moved on.  It must be re-acked, not re-executed.
+    hrig.send(1, m.CommitMsg(committer=1, tid=1, attempt=1))
+    hrig.run()
+    assert len(hrig.of_type(1, m.CommitAck)) == 2
+    assert hrig.dir.nstid == 2
+    assert hrig.dir.stats.commits_served == 1
+
+
+def test_abort_for_past_tid_is_reacked(hrig):
+    hrig.send(1, m.SkipMsg(tid=1, committer=1))
+    hrig.run()
+    hrig.send(1, m.AbortMsg(committer=1, tid=1, attempt=1, want_ack=True))
+    hrig.run()
+    assert len(hrig.of_type(1, m.AbortAck)) == 1
+    assert hrig.dir.nstid == 2
+
+
+def test_duplicate_pending_probe_deduped(hrig):
+    hrig.send(1, m.ProbeRequest(requester=1, tid=3, writing=False))
+    hrig.send(1, m.ProbeRequest(requester=1, tid=3, writing=False))
+    hrig.run()
+    hrig.send(2, m.SkipMsg(tid=1, committer=2))
+    hrig.send(2, m.SkipMsg(tid=2, committer=2))
+    hrig.run()
+    assert len(hrig.of_type(1, m.ProbeReply)) == 1
+
+
+def test_duplicate_inv_ack_dropped(hrig):
+    for node in (2,):
+        hrig.send(node, m.LoadRequest(requester=node, line=5, seq=1))
+    hrig.run()
+    hrig.send(1, m.MarkMsg(committer=1, tid=1, lines={5: 0b1}, attempt=1))
+    hrig.send(1, m.CommitMsg(committer=1, tid=1, attempt=1))
+    hrig.run()
+    assert len(hrig.of_type(2, m.Invalidation)) == 1
+    hrig.send(2, m.InvAck(sharer=2, line=5, tid=1))
+    hrig.run()
+    assert len(hrig.of_type(1, m.CommitAck)) == 1
+    # The sharer's retransmitted ack lands after the commit finished.
+    hrig.send(2, m.InvAck(sharer=2, line=5, tid=1))
+    hrig.run()
+    assert len(hrig.of_type(1, m.CommitAck)) == 1
+    assert hrig.dir.nstid == 2
+
+
+def test_stale_inv_ack_ride_salvaged_through_writeback_rule(hrig):
+    """A duplicated InvAck for a finished commit can still carry the
+    owner's only copy of a line; the ack is deduped but the ridden data
+    must go through the ordinary write-back acceptance rule."""
+    entry = hrig.dir.state.entry(7)
+    entry.owner = 1
+    entry.tid_tag = 5
+    hrig.send(1, m.InvAck(sharer=1, line=7, tid=3, wb_words={0: 99}, wb_tid=5))
+    hrig.run()
+    assert hrig.memory.read_line(7)[0] == 99
+    assert not hrig.dir.state.entry(7).owned
+    assert hrig.dir.stats.writebacks_accepted == 1
+
+
+def test_stale_inv_ack_ride_with_stale_tid_still_dropped(hrig):
+    """The salvage path must not bypass the TID-tag rule: ridden data
+    older than the line's last commit stays dropped."""
+    hrig.memory.write_line(7, [1] * 8)
+    entry = hrig.dir.state.entry(7)
+    entry.owner = 1
+    entry.tid_tag = 5
+    hrig.send(1, m.InvAck(sharer=1, line=7, tid=3, wb_words={0: 99}, wb_tid=4))
+    hrig.run()
+    assert hrig.memory.read_line(7)[0] == 1
+    assert hrig.dir.state.entry(7).owner == 1
+    assert hrig.dir.stats.writebacks_dropped == 1

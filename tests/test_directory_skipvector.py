@@ -94,3 +94,61 @@ def test_long_random_sequence_ends_gap_free():
     for tid in tids:
         sv.skip(tid)
     assert sv.nstid == 201
+
+
+def test_buffered_bits_shift_with_the_anchor():
+    """The bitmap is anchored at NSTID: advancing must slide buffered
+    skips down so they drain at the right TIDs (the Figure 5 wraparound
+    behaviour of the hardware shift register)."""
+    sv = SkipVector()
+    sv.skip(3)
+    sv.skip(5)
+    assert sv.skip(1) == 1  # advance to 2; bits for 3 and 5 must follow
+    assert sv.nstid == 2
+    assert sv.is_skipped(3) and sv.is_skipped(5)
+    assert sv.skip(2) == 2  # drains 2 and the shifted 3
+    assert sv.nstid == 4
+    assert sv.skip(4) == 2  # drains 4 and the twice-shifted 5
+    assert sv.nstid == 6
+
+
+def test_anchor_reuse_across_many_windows():
+    """Alternate ahead-of-anchor and at-anchor skips for many windows:
+    each window reuses bit positions the previous one vacated."""
+    sv = SkipVector()
+    for tid in range(1, 300, 2):
+        assert sv.skip(tid + 1) == 0  # buffered one ahead
+        assert sv.skip(tid) == 2      # drains both
+    assert sv.nstid == 301
+    assert sv.stale_skips == 0
+
+
+def test_far_future_skip_survives_gap_fill():
+    sv = SkipVector()
+    sv.skip(1000)
+    for tid in range(2, 1000):
+        sv.skip(tid)
+    assert sv.nstid == 1
+    assert sv.skip(1) == 1000
+    assert sv.nstid == 1001
+    assert sv.max_width >= 1000
+
+
+def test_is_skipped_false_for_past_tids():
+    sv = SkipVector()
+    sv.skip(1)
+    assert not sv.is_skipped(1)  # already served
+    assert not sv.is_skipped(0)
+
+
+def test_dup_skip_after_drain_is_stale_not_reanchored():
+    """A duplicate of an already-drained skip (hardened-protocol retry)
+    must count as stale, not re-set a bit in the new window."""
+    sv = SkipVector()
+    sv.skip(2)
+    sv.skip(1)
+    assert sv.nstid == 3
+    assert sv.skip(2) == 0
+    assert sv.stale_skips == 1
+    assert not sv.is_skipped(3)  # the dup must not poison TID 3
+    assert sv.skip(3) == 1
