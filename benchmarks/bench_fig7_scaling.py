@@ -14,6 +14,8 @@ roughly 11-32 and 64-CPU speedups of roughly 16-57):
   fraction of execution time even at 64 CPUs (paper: < 5%).
 """
 
+from runner_env import bench_cache, bench_jobs
+
 from repro import APP_PROFILES
 from repro.analysis import format_breakdown_figure, run_scaling
 from repro.stats import speedup
@@ -23,8 +25,10 @@ SCALE = 1.0
 
 
 def _collect():
+    jobs, cache = bench_jobs(), bench_cache()
     return {
-        app: run_scaling(app, COUNTS, scale=SCALE) for app in APP_PROFILES
+        app: run_scaling(app, COUNTS, scale=SCALE, jobs=jobs, cache=cache)
+        for app in APP_PROFILES
     }
 
 

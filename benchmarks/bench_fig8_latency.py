@@ -7,6 +7,8 @@ without significant remote communication (SPECjbb2000, swim) suffer
 almost no degradation.
 """
 
+from runner_env import bench_cache, bench_jobs
+
 from repro.analysis import format_table, run_latency_sweep
 
 LATENCIES = (1, 3, 6, 8)
@@ -16,9 +18,10 @@ APPS = ("equake", "volrend", "barnes", "specjbb2000", "swim")
 
 
 def _collect():
+    jobs, cache = bench_jobs(), bench_cache()
     return {
         app: run_latency_sweep(app, LATENCIES, n_processors=N_PROCESSORS,
-                               scale=SCALE)
+                               scale=SCALE, jobs=jobs, cache=cache)
         for app in APPS
     }
 

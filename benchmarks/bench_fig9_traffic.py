@@ -7,8 +7,10 @@ ops-per-word-written ratio yield low overhead.  With 64 processors at
 (their Infiniband argument).
 """
 
+from runner_env import bench_cache, bench_jobs
+
 from repro import APP_PROFILES, SystemConfig
-from repro.analysis import format_traffic_figure, run_app
+from repro.analysis import format_traffic_figure, run_apps
 
 N_PROCESSORS = 64
 SCALE = 1.0
@@ -16,7 +18,8 @@ SCALE = 1.0
 
 def _collect():
     config = SystemConfig(n_processors=N_PROCESSORS)
-    return {app: run_app(app, config, scale=SCALE) for app in APP_PROFILES}
+    return run_apps(APP_PROFILES, config, scale=SCALE,
+                    jobs=bench_jobs(), cache=bench_cache())
 
 
 def test_bench_fig9(benchmark, save_artifact):
@@ -56,8 +59,5 @@ def test_bench_fig9(benchmark, save_artifact):
     # directory... the aggregate stays below ~1 GB/s per node).
     for app, result in results.items():
         cycles = result.cycles
-        peak_node_bytes = max(
-            result.traffic.bytes_into_node.values(), default=0
-        )
-        bytes_per_cycle = peak_node_bytes / max(1, cycles)
+        bytes_per_cycle = result.traffic_peak_node_bytes / max(1, cycles)
         assert bytes_per_cycle < 16, (app, bytes_per_cycle)

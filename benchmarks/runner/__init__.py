@@ -1,0 +1,16 @@
+"""Wall-clock benchmark of the parallel runner and result cache.
+
+Unlike the sibling ``bench_*`` modules — which regenerate the *paper's*
+tables and figures — this package measures the execution harness
+itself: a chaos campaign run serially vs. in parallel, a config sweep
+run cold vs. warm-cache, and the serial-vs-parallel fingerprint
+equality that proves parallelism never changes results.
+
+Run it (writes ``BENCH_runner.json`` at the repo root):
+
+    PYTHONPATH=src python -m benchmarks.runner
+    PYTHONPATH=src python -m benchmarks.runner --quick   # CI smoke
+
+The implementation lives in :mod:`repro.analysis.runner_bench`; this
+package only pins the canonical output location.
+"""

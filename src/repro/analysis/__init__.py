@@ -13,18 +13,23 @@ from repro.analysis.tables import (
 )
 from repro.analysis.experiments import (
     run_app,
+    run_apps,
     run_latency_sweep,
     run_scaling,
 )
 from repro.analysis.perf import run_perf
 from repro.analysis.report import render_report
+from repro.analysis.sweep import Sweep, SweepPoint
 
 __all__ = [
+    "Sweep",
+    "SweepPoint",
     "format_breakdown_figure",
     "format_table",
     "format_traffic_figure",
     "render_report",
     "run_app",
+    "run_apps",
     "run_latency_sweep",
     "run_perf",
     "run_scaling",

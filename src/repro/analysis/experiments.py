@@ -3,14 +3,30 @@
 Each driver builds fresh systems (one per configuration — a system runs
 exactly one workload), runs the named application, and returns results
 keyed the way the corresponding paper artefact needs them.
+
+The multi-run drivers (``run_apps``, ``run_scaling``,
+``run_latency_sweep``) accept ``jobs`` and ``cache`` and always route
+through the :mod:`repro.runner` process pool: with ``jobs=1`` (the
+default) points execute in-process sequentially, with ``jobs > 1`` they
+run concurrently across worker processes, and ``cache`` memoizes their
+summaries in the content-addressed result cache.  They return
+:class:`~repro.runner.ResultSummary` objects — the scalar surface the
+figure drivers read (``cycles``, ``committed_transactions``,
+``breakdown_fractions()``, ``bytes_per_instruction()``, …) —
+bit-identical at any jobs/cache setting.  ``run_app`` stays in-process
+and returns the full :class:`~repro.core.system.SimulationResult` for
+callers that need per-transaction samples (Table 3 characteristics,
+reports).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.system import ScalableTCCSystem, SimulationResult
+from repro.runner import JobSpec, ResultSummary, run_jobs
+from repro.runner.pool import CacheLike
 from repro.workloads.apps import app_workload
 
 #: Safety bound: no single experiment may exceed this many cycles.
@@ -23,11 +39,50 @@ def run_app(
     scale: float = 1.0,
     verify: bool = True,
 ) -> SimulationResult:
-    """One application on one configuration."""
+    """One application on one configuration (in-process, full result)."""
     system = ScalableTCCSystem(config)
     workload = app_workload(name, scale=scale, line_size=config.line_size,
                             word_size=config.word_size)
     return system.run(workload, max_cycles=MAX_CYCLES, verify=verify)
+
+
+def _app_spec(name: str, config: SystemConfig, scale: float,
+              verify: bool) -> JobSpec:
+    return JobSpec(
+        kind="sim",
+        workload="app",
+        workload_args={"name": name, "scale": scale},
+        config=config,
+        max_cycles=MAX_CYCLES,
+        verify=verify,
+        label=f"{name}@{config.n_processors}",
+    )
+
+
+def _run_app_specs(specs: List[JobSpec], jobs: Optional[int],
+                   cache: CacheLike) -> List[ResultSummary]:
+    outcomes, _ = run_jobs(specs, jobs=jobs, cache=cache)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"experiment job {outcome.spec.describe()} failed: "
+                f"{outcome.error}"
+            )
+    return [outcome.summary() for outcome in outcomes]
+
+
+def run_apps(
+    names: Iterable[str],
+    config: SystemConfig,
+    scale: float = 1.0,
+    verify: bool = True,
+    jobs: Optional[int] = 1,
+    cache: CacheLike = None,
+) -> Dict[str, ResultSummary]:
+    """Several applications on one configuration (Figures 6 and 9)."""
+    names = list(names)
+    specs = [_app_spec(name, config, scale, verify) for name in names]
+    return dict(zip(names, _run_app_specs(specs, jobs, cache)))
 
 
 def run_scaling(
@@ -36,13 +91,16 @@ def run_scaling(
     base_config: Optional[SystemConfig] = None,
     scale: float = 1.0,
     verify: bool = True,
-) -> Dict[int, SimulationResult]:
+    jobs: Optional[int] = 1,
+    cache: CacheLike = None,
+) -> Dict[int, ResultSummary]:
     """Figure 7: the same total work across processor counts."""
     base = base_config or SystemConfig()
-    results = {}
-    for n in processor_counts:
-        results[n] = run_app(name, base.scaled_to(n), scale=scale, verify=verify)
-    return results
+    counts = list(processor_counts)
+    specs = [
+        _app_spec(name, base.scaled_to(n), scale, verify) for n in counts
+    ]
+    return dict(zip(counts, _run_app_specs(specs, jobs, cache)))
 
 
 def run_latency_sweep(
@@ -52,12 +110,14 @@ def run_latency_sweep(
     base_config: Optional[SystemConfig] = None,
     scale: float = 1.0,
     verify: bool = True,
-) -> Dict[int, SimulationResult]:
+    jobs: Optional[int] = 1,
+    cache: CacheLike = None,
+) -> Dict[int, ResultSummary]:
     """Figure 8: the impact of cycles-per-hop at a fixed processor count."""
     base = (base_config or SystemConfig()).scaled_to(n_processors)
-    results = {}
-    for latency in link_latencies:
-        results[latency] = run_app(
-            name, base.with_link_latency(latency), scale=scale, verify=verify
-        )
-    return results
+    latencies = list(link_latencies)
+    specs = [
+        _app_spec(name, base.with_link_latency(latency), scale, verify)
+        for latency in latencies
+    ]
+    return dict(zip(latencies, _run_app_specs(specs, jobs, cache)))

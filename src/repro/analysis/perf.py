@@ -9,10 +9,19 @@ one run each.  The metric is *engine events per wall-clock second*
 perf run doubles as a quick determinism check — they must not change
 unless the timing model itself changed.
 
+Each application's ``warmup`` untimed and ``repeats`` timed passes run
+back-to-back in one process (one :mod:`repro.runner` ``perf`` job);
+with ``jobs`` > 1 the applications themselves run concurrently.
+Concurrent workers contend for cores, so per-app events/sec is only
+comparable between runs at the same ``jobs`` setting — the report
+records it.  Perf jobs are never served from the result cache: the
+payload *is* a wall-clock measurement.
+
 Usage:
 
     python -m repro perf                 # full Fig. 7 @ 32 CPUs, 3 repeats
     python -m repro perf --quick         # seconds-long smoke (CI)
+    python -m repro perf --jobs 4        # apps across 4 worker processes
     python -m repro perf --out BENCH_kernel.json
 
 or programmatically via :func:`run_perf`.
@@ -23,33 +32,15 @@ from __future__ import annotations
 import json
 import statistics
 import sys
-import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.config import SystemConfig
-from repro.core.system import ScalableTCCSystem
-from repro.workloads.apps import APP_PROFILES, app_workload
+from repro.runner import JobSpec, resolve_jobs, run_jobs
+from repro.workloads.apps import APP_PROFILES
 
 #: The headline experiment: the Fig. 7 scaling run at 32 CPUs.
 FULL_APPS = tuple(sorted(APP_PROFILES))
 QUICK_APPS = ("barnes", "equake", "swim")
-
-
-def _run_once(app: str, config: SystemConfig, scale: float) -> Dict[str, float]:
-    """One timed run; returns wall seconds, events and cycles."""
-    system = ScalableTCCSystem(config)
-    workload = app_workload(app, scale=scale)
-    start = time.perf_counter()
-    result = system.run(workload, verify=False)
-    wall = time.perf_counter() - start
-    return {
-        "wall_s": wall,
-        "events": result.events_executed,
-        "cycles": result.cycles,
-        "committed": result.committed_transactions,
-        "violations": result.total_violations,
-        "traffic_bytes": result.traffic.total_bytes,
-    }
 
 
 def run_perf(
@@ -60,12 +51,14 @@ def run_perf(
     warmup: int = 1,
     seed: int = 0,
     config_overrides: Optional[dict] = None,
+    jobs: Optional[int] = 1,
 ) -> Dict:
     """Run the perf experiment and return the report dict.
 
     ``repeats`` timed passes over every app (after ``warmup`` untimed
     ones); per-app wall time is the median over repeats, events/sec is
-    total events over median total wall time.
+    total events over median total wall time.  ``jobs`` fans apps out
+    over worker processes (None = all cores).
     """
     apps = list(apps or FULL_APPS)
     unknown = [a for a in apps if a not in APP_PROFILES]
@@ -73,38 +66,44 @@ def run_perf(
         raise ValueError(f"unknown apps: {unknown}")
     overrides = dict(config_overrides or {})
     config = SystemConfig(n_processors=n_processors, seed=seed, **overrides)
+    jobs = resolve_jobs(jobs)
 
-    for _ in range(warmup):
-        for app in apps:
-            _run_once(app, config, scale)
-
-    samples: Dict[str, List[Dict[str, float]]] = {app: [] for app in apps}
-    for _ in range(max(1, repeats)):
-        for app in apps:
-            samples[app].append(_run_once(app, config, scale))
+    specs = [
+        JobSpec(
+            kind="perf",
+            workload=app,
+            workload_args={"scale": scale},
+            config=config,
+            verify=False,
+            repeats=max(1, repeats),
+            warmup=warmup,
+            cacheable=False,
+            label=f"perf {app}",
+        )
+        for app in apps
+    ]
+    outcomes, _ = run_jobs(specs, jobs=jobs)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"perf job {outcome.spec.workload} failed: {outcome.error}"
+            )
 
     per_app = {}
-    for app, runs in samples.items():
-        walls = [r["wall_s"] for r in runs]
-        first = runs[0]
-        # Simulated outcomes must be identical across repeats; a
-        # mismatch means nondeterminism crept into the kernel.
-        for r in runs[1:]:
-            for key in ("events", "cycles", "committed", "violations", "traffic_bytes"):
-                if r[key] != first[key]:
-                    raise RuntimeError(
-                        f"nondeterministic run: {app} {key} {r[key]} != {first[key]}"
-                    )
+    for outcome in outcomes:
+        app = outcome.spec.workload
+        walls = outcome.payload["wall_samples_s"]
+        summary = outcome.summary()
         wall = statistics.median(walls)
         per_app[app] = {
             "wall_s": round(wall, 4),
             "wall_samples_s": [round(w, 4) for w in walls],
-            "events": first["events"],
-            "cycles": first["cycles"],
-            "committed": first["committed"],
-            "violations": first["violations"],
-            "traffic_bytes": first["traffic_bytes"],
-            "events_per_sec": round(first["events"] / wall),
+            "events": summary.events_executed,
+            "cycles": summary.cycles,
+            "committed": summary.committed_transactions,
+            "violations": summary.total_violations,
+            "traffic_bytes": summary.traffic_bytes,
+            "events_per_sec": round(summary.events_executed / wall),
         }
 
     total_events = sum(v["events"] for v in per_app.values())
@@ -119,6 +118,7 @@ def run_perf(
             "warmup": warmup,
             "seed": seed,
             "config_overrides": overrides,
+            "jobs": jobs,
         },
         "python": sys.version.split()[0],
         "per_app": per_app,
@@ -133,10 +133,12 @@ def run_perf(
 
 def format_report(report: Dict) -> str:
     """Human-readable table for one harness report."""
+    jobs = report["experiment"].get("jobs", 1)
     lines = [
         f"kernel perf — {report['experiment']['n_processors']} CPUs, "
         f"scale {report['experiment']['scale']}, "
-        f"{report['experiment']['repeats']} repeats (python {report['python']})",
+        f"{report['experiment']['repeats']} repeats, {jobs} worker(s) "
+        f"(python {report['python']})",
         f"{'app':<16} {'events':>10} {'cycles':>10} {'wall s':>8} {'events/s':>10}",
     ]
     for app, row in report["per_app"].items():

@@ -1,0 +1,175 @@
+"""Wall-clock benchmark of the parallel runner and result cache.
+
+Measures the three execution modes the :mod:`repro.runner` subsystem
+exists for and records them side by side in ``BENCH_runner.json`` so
+the repo's performance trajectory covers the harness itself, not just
+the simulation kernel:
+
+* a chaos campaign run serially (``jobs=1``) vs. in parallel
+  (``jobs=N``), both with the cache bypassed — the process-level
+  speedup (bounded by physical cores, recorded in ``machine``);
+* a config sweep run cold (empty cache) vs. warm (same cache, unchanged
+  code) — the memoization speedup;
+* serial-vs-parallel result fingerprints for the sweep — the
+  bit-exactness witness.
+
+Usage:
+
+    PYTHONPATH=src python -m benchmarks.runner            # full, writes BENCH_runner.json
+    PYTHONPATH=src python -m benchmarks.runner --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, Optional
+
+from repro.analysis.sweep import Sweep
+from repro.core.config import SystemConfig
+from repro.faults.chaos import run_chaos
+from repro.runner import ResultCache, resolve_jobs
+
+
+def _timed(fn) -> Dict:
+    start = time.perf_counter()
+    value = fn()
+    return {"wall_s": round(time.perf_counter() - start, 4), "value": value}
+
+
+def _make_sweep(points_scale: float, seeds: int) -> Sweep:
+    return Sweep(
+        SystemConfig(n_processors=8),
+        {"link_latency": [1, 2, 3, 6], "seed": list(range(seeds))},
+        ("app", {"name": "barnes", "scale": points_scale}),
+        verify=True,
+    )
+
+
+def run_runner_bench(
+    chaos_cases: int = 200,
+    jobs: Optional[int] = 4,
+    sweep_scale: float = 0.25,
+    sweep_seeds: int = 3,
+    quick: bool = False,
+) -> Dict:
+    """Run the comparison and return the report dict."""
+    if quick:
+        chaos_cases = min(chaos_cases, 30)
+        sweep_seeds = 2
+    n_jobs = resolve_jobs(jobs)
+
+    # -- chaos: serial vs parallel, cache bypassed ------------------------
+    serial = _timed(lambda: run_chaos(cases=chaos_cases, jobs=1, cache=None))
+    parallel = _timed(
+        lambda: run_chaos(cases=chaos_cases, jobs=n_jobs, cache=None)
+    )
+    chaos_identical = (
+        {k: serial["value"][k] for k in ("passed", "failed", "fault_totals")}
+        == {k: parallel["value"][k] for k in ("passed", "failed",
+                                              "fault_totals")}
+    )
+
+    # -- sweep: cold vs warm cache, plus serial-vs-parallel fingerprints --
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cache = ResultCache(root=root)
+        sweep = _make_sweep(sweep_scale, sweep_seeds)
+        cold = _timed(lambda: sweep.run(jobs=n_jobs, cache=cache))
+        cold_fingerprints = sweep.fingerprints()
+        cold_stats = sweep.last_run_stats.as_dict()
+
+        warm_sweep = _make_sweep(sweep_scale, sweep_seeds)
+        warm = _timed(lambda: warm_sweep.run(jobs=n_jobs, cache=cache))
+        warm_fingerprints = warm_sweep.fingerprints()
+        warm_stats = warm_sweep.last_run_stats.as_dict()
+
+    serial_sweep = _make_sweep(sweep_scale, sweep_seeds)
+    serial_sweep.run(jobs=1, cache=None)
+    serial_fingerprints = serial_sweep.fingerprints()
+
+    def ratio(a: float, b: float) -> float:
+        return round(a / b, 2) if b > 0 else float("inf")
+
+    return {
+        "bench": "runner",
+        "python": sys.version.split()[0],
+        "machine": {"cpu_count": os.cpu_count()},
+        "jobs": n_jobs,
+        "chaos": {
+            "cases": chaos_cases,
+            "serial_wall_s": serial["wall_s"],
+            "parallel_wall_s": parallel["wall_s"],
+            "parallel_speedup": ratio(serial["wall_s"], parallel["wall_s"]),
+            "outcomes_identical": chaos_identical,
+        },
+        "sweep": {
+            "points": len(serial_fingerprints),
+            "cold_wall_s": cold["wall_s"],
+            "warm_wall_s": warm["wall_s"],
+            "warm_speedup": ratio(cold["wall_s"], warm["wall_s"]),
+            "cold_runner": cold_stats,
+            "warm_runner": warm_stats,
+        },
+        "determinism": {
+            "serial_vs_parallel_identical":
+                serial_fingerprints == cold_fingerprints,
+            "cold_vs_warm_identical":
+                cold_fingerprints == warm_fingerprints,
+            "fingerprints": serial_fingerprints,
+        },
+    }
+
+
+def format_report(report: Dict) -> str:
+    chaos = report["chaos"]
+    sweep = report["sweep"]
+    det = report["determinism"]
+    lines = [
+        f"runner bench — {report['jobs']} worker(s) on "
+        f"{report['machine']['cpu_count']} core(s) "
+        f"(python {report['python']})",
+        f"  chaos {chaos['cases']} cases: serial {chaos['serial_wall_s']:.2f}s, "
+        f"parallel {chaos['parallel_wall_s']:.2f}s "
+        f"({chaos['parallel_speedup']:.2f}x), outcomes identical: "
+        f"{chaos['outcomes_identical']}",
+        f"  sweep {sweep['points']} points: cold {sweep['cold_wall_s']:.2f}s, "
+        f"warm {sweep['warm_wall_s']:.2f}s ({sweep['warm_speedup']:.2f}x)",
+        f"  bit-identical: serial-vs-parallel "
+        f"{det['serial_vs_parallel_identical']}, cold-vs-warm "
+        f"{det['cold_vs_warm_identical']}",
+    ]
+    return "\n".join(lines)
+
+
+def save_report(report: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.runner",
+        description="wall-clock benchmark of the parallel runner + cache",
+    )
+    parser.add_argument("--cases", type=int, default=200,
+                        help="chaos cases (default 200)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 30 cases, smaller sweep")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON report to FILE")
+    args = parser.parse_args(argv)
+    report = run_runner_bench(chaos_cases=args.cases, jobs=args.jobs,
+                              quick=args.quick)
+    print(format_report(report))
+    if args.out:
+        save_report(report, args.out)
+        print(f"report written to {args.out}")
+    return 0

@@ -1,27 +1,56 @@
 """Generic configuration sweeps over the application suite.
 
 A sweep takes a base :class:`SystemConfig`, a grid of config overrides,
-and a workload factory; it runs every grid point (fresh system each —
-systems are single-shot) and collects the results in a flat table that
-renders as text or CSV.  The Figure 7/8 drivers are special cases of
-this; the sweep exists for the *other* questions users ask ("what if
-lines were 64 bytes?", "how does jitter interact with retention?").
+and a workload; it runs every grid point (fresh system each — systems
+are single-shot) and collects the results in a flat table that renders
+as text or CSV.  The Figure 7/8 drivers are special cases of this; the
+sweep exists for the *other* questions users ask ("what if lines were
+64 bytes?", "how does jitter interact with retention?").
+
+Grid points are independent, so ``run(jobs=N)`` fans them out over the
+:mod:`repro.runner` process pool, and ``run(cache=True)`` memoizes each
+point in the content-addressed result cache — a warm re-run of an
+unchanged sweep costs milliseconds.  Both require the workload to be
+*named* — a ``("app", {"name": "barnes", "scale": 0.5})`` spec rather
+than a bare callable — because a closure can neither cross a process
+boundary nor hash into a stable cache key.  Plain callables still work
+for ad-hoc in-process sweeps (``jobs=1``, no cache).
 """
 
 from __future__ import annotations
 
 import csv
 import dataclasses
+import difflib
 import io
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.tables import format_table
 from repro.core.config import SystemConfig
-from repro.core.system import ScalableTCCSystem, SimulationResult
+from repro.core.system import ScalableTCCSystem
+from repro.runner import JobSpec, ResultSummary, RunnerStats, run_jobs
+from repro.runner.pool import CacheLike
 from repro.workloads.base import Workload
 
 WorkloadFactory = Callable[[SystemConfig], Workload]
+#: A named workload: a factory name from repro.runner.WORKLOAD_FACTORIES,
+#: optionally with keyword arguments.
+WorkloadSpec = Union[str, Tuple[str, Dict[str, Any]]]
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(SystemConfig))
+
+
+def _validate_grid_keys(grid: Dict[str, Any]) -> None:
+    """Reject unknown override keys up front with a one-line error,
+    instead of the opaque TypeError dataclasses.replace raises mid-sweep."""
+    for key in grid:
+        if key not in _CONFIG_FIELDS:
+            hint = difflib.get_close_matches(key, _CONFIG_FIELDS, n=1)
+            suggestion = f" (did you mean {hint[0]!r}?)" if hint else ""
+            raise ValueError(
+                f"sweep override {key!r} is not a SystemConfig field{suggestion}"
+            )
 
 
 @dataclasses.dataclass
@@ -29,7 +58,7 @@ class SweepPoint:
     """One grid point's parameters and outcome."""
 
     overrides: Dict[str, Any]
-    result: SimulationResult
+    result: ResultSummary
 
     def row(self) -> Dict[str, Any]:
         fractions = self.result.breakdown_fractions()
@@ -54,16 +83,18 @@ class Sweep:
         self,
         base_config: SystemConfig,
         grid: Dict[str, Iterable[Any]],
-        workload_factory: WorkloadFactory,
+        workload_factory: Union[WorkloadFactory, WorkloadSpec],
         max_cycles: Optional[int] = 5_000_000_000,
         verify: bool = True,
     ) -> None:
         self.base_config = base_config
         self.grid = {key: list(values) for key, values in grid.items()}
+        _validate_grid_keys(self.grid)
         self.workload_factory = workload_factory
         self.max_cycles = max_cycles
         self.verify = verify
         self.points: List[SweepPoint] = []
+        self.last_run_stats: Optional[RunnerStats] = None
 
     def __len__(self) -> int:
         total = 1
@@ -71,20 +102,95 @@ class Sweep:
             total *= len(values)
         return total
 
-    def run(self) -> List[SweepPoint]:
-        """Execute every grid point; returns (and stores) the points."""
+    def _combos(self) -> List[Dict[str, Any]]:
         keys = list(self.grid)
-        self.points = []
-        for combo in itertools.product(*(self.grid[k] for k in keys)):
-            overrides = dict(zip(keys, combo))
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.grid[k] for k in keys))
+        ]
+
+    def _named_workload(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        if isinstance(self.workload_factory, str):
+            return self.workload_factory, {}
+        if isinstance(self.workload_factory, tuple):
+            name, args = self.workload_factory
+            return name, dict(args)
+        return None
+
+    def run(
+        self,
+        jobs: Optional[int] = 1,
+        cache: CacheLike = None,
+        progress=None,
+    ) -> List[SweepPoint]:
+        """Execute every grid point; returns (and stores) the points.
+
+        ``jobs`` > 1 (or None for all cores) fans grid points out over
+        worker processes; ``cache`` memoizes point summaries on disk
+        (True, a directory path, or a ResultCache).  Results are
+        bit-identical across any jobs/cache setting.
+        """
+        combos = self._combos()
+        named = self._named_workload()
+        if named is None:
+            if (jobs not in (1,)) or cache:
+                raise ValueError(
+                    "parallel or cached sweeps need a named workload spec "
+                    "like ('app', {'name': 'barnes'}) — a bare callable "
+                    "cannot be pickled to a worker or hashed into a cache key"
+                )
+            self.points = self._run_callable(combos)
+            self.last_run_stats = None
+            return self.points
+
+        name, args = named
+        specs = []
+        for overrides in combos:
+            config = dataclasses.replace(self.base_config, **overrides)
+            specs.append(JobSpec(
+                kind="sim",
+                workload=name,
+                workload_args=args,
+                config=config,
+                max_cycles=self.max_cycles,
+                verify=self.verify,
+                label=f"{name} {overrides}",
+            ))
+        outcomes, stats = run_jobs(specs, jobs=jobs, cache=cache,
+                                   progress=progress)
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise RuntimeError(
+                    f"sweep point {combos[outcome.index]} failed: "
+                    f"{outcome.error}"
+                )
+        self.points = [
+            SweepPoint(combos[o.index], o.summary()) for o in outcomes
+        ]
+        self.last_run_stats = stats
+        return self.points
+
+    def _run_callable(self, combos: List[Dict[str, Any]]) -> List[SweepPoint]:
+        """Legacy in-process path for arbitrary factory callables."""
+        points = []
+        for overrides in combos:
             config = dataclasses.replace(self.base_config, **overrides)
             system = ScalableTCCSystem(config)
             workload = self.workload_factory(config)
             result = system.run(
                 workload, max_cycles=self.max_cycles, verify=self.verify
             )
-            self.points.append(SweepPoint(overrides, result))
-        return self.points
+            points.append(
+                SweepPoint(overrides, ResultSummary.from_result(result))
+            )
+        return points
+
+    def fingerprints(self) -> List[str]:
+        """Per-point result fingerprints — the bit-exactness witness for
+        serial-vs-parallel and cold-vs-cached equivalence."""
+        if not self.points:
+            raise RuntimeError("sweep has not been run")
+        return [point.result.fingerprint() for point in self.points]
 
     # -- rendering ---------------------------------------------------------
 
@@ -110,4 +216,6 @@ class Sweep:
 
     def best(self, metric: str = "cycles") -> SweepPoint:
         """The point minimizing ``metric`` (a row key)."""
+        if not self.points:
+            raise RuntimeError("sweep has not been run")
         return min(self.points, key=lambda p: p.row()[metric])

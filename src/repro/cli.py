@@ -8,7 +8,15 @@ Usage (also ``python -m repro <command>``):
     python -m repro scaling specjbb2000 -n 1,8,32
     python -m repro latency equake --hops 1,3,8 -n 32
     python -m repro traffic swim -n 64
+    python -m repro sweep barnes --grid link_latency=1,3,8 --jobs 4
     python -m repro chaos --quick
+    python -m repro chaos --cases 200 --jobs 4 --no-cache
+
+Multi-run commands (``sweep``, ``chaos``, ``perf``) fan their
+independent runs out over worker processes (``--jobs``, default: all
+cores) and memoize results in the content-addressed cache under
+``.repro_cache/`` (``--no-cache`` to bypass); results are bit-identical
+at any ``--jobs`` setting.
 
 Every run performs the full serial-replay serializability check before
 reporting results.  All commands exit nonzero with a one-line
@@ -38,6 +46,49 @@ def _int_list(text: str) -> List[int]:
         return [int(part) for part in text.split(",") if part]
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _grid_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    if text in ("none", "None"):
+        return None
+    return text
+
+
+def _grid_axis(text: str):
+    """Parse one ``--grid field=v1,v2,...`` axis."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected field=v1,v2,..., got {text!r}"
+        )
+    key, _, values = text.partition("=")
+    parsed = [_grid_value(part) for part in values.split(",") if part]
+    if not parsed:
+        raise argparse.ArgumentTypeError(f"no values for grid axis {key!r}")
+    return key, parsed
+
+
+def _add_runner_args(parser: argparse.ArgumentParser,
+                     with_cache: bool = True) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores; "
+                             "1 = in-process, no pickling)")
+    if with_cache:
+        parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache")
+
+
+def _cache_from(args):
+    """--no-cache -> None (bypass); otherwise the default on-disk cache."""
+    return None if getattr(args, "no_cache", False) else True
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -203,12 +254,14 @@ def cmd_perf(args) -> int:
         report = run_perf(apps=args.apps or list(QUICK_APPS),
                           n_processors=pick(args.processors, 8),
                           scale=pick(args.perf_scale, 0.25),
-                          repeats=pick(args.repeats, 1), warmup=0)
+                          repeats=pick(args.repeats, 1), warmup=0,
+                          jobs=args.jobs)
     else:
         report = run_perf(apps=args.apps or None,
                           n_processors=pick(args.processors, 32),
                           scale=pick(args.perf_scale, 1.0),
-                          repeats=pick(args.repeats, 3))
+                          repeats=pick(args.repeats, 3),
+                          jobs=args.jobs)
     print(format_report(report))
     if args.out:
         save_report(report, args.out)
@@ -230,7 +283,9 @@ def cmd_chaos(args) -> int:
                   f"@{outcome.n_processors} {outcome.outcome} "
                   f"cycles={outcome.cycles}")
 
-    report = run_chaos(cases=cases, seed0=args.seed0, progress=progress)
+    report = run_chaos(cases=cases, seed0=args.seed0, progress=progress,
+                       jobs=args.jobs, cache=_cache_from(args),
+                       full=args.full)
     print(format_report(report))
     if args.out:
         import json
@@ -239,6 +294,39 @@ def cmd_chaos(args) -> int:
             json.dump(report, handle, indent=2)
         print(f"report written to {args.out}")
     return 0 if report["failed"] == 0 else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis.sweep import Sweep
+
+    name = _check_app(args.app)
+    grid = {}
+    for key, values in args.grid or []:
+        grid[key] = values
+    if not grid:
+        raise SystemExit(
+            "sweep: need at least one --grid field=v1,v2,... axis "
+            "(e.g. --grid link_latency=1,3,8)"
+        )
+    sweep = Sweep(
+        _config_from(args),
+        grid,
+        ("app", {"name": name, "scale": args.scale}),
+        verify=not args.no_verify,
+    )
+    sweep.run(jobs=args.jobs, cache=_cache_from(args))
+    print(sweep.as_table())
+    if sweep.last_run_stats is not None:
+        print(sweep.last_run_stats.describe())
+    if args.best:
+        best = sweep.best(args.best)
+        print(f"best {args.best}: {best.overrides} "
+              f"({args.best}={best.row()[args.best]})")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(sweep.as_csv())
+        print(f"csv written to {args.csv}")
+    return 0
 
 
 def cmd_traffic(args) -> int:
@@ -301,6 +389,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_traffic)
 
     p = sub.add_parser(
+        "sweep",
+        help="Cartesian config sweep over one application "
+             "(parallel + cached)",
+    )
+    p.add_argument("app")
+    _add_machine_args(p)
+    p.add_argument("--grid", action="append", type=_grid_axis,
+                   metavar="FIELD=V1,V2,...",
+                   help="one sweep axis (repeatable), e.g. "
+                        "--grid link_latency=1,3,8")
+    p.add_argument("--best", metavar="METRIC", default=None,
+                   help="also print the point minimizing METRIC "
+                        "(e.g. cycles)")
+    p.add_argument("--csv", metavar="FILE", default=None,
+                   help="write the sweep table to FILE as CSV")
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
         "chaos",
         help="fault-injection campaign: randomized fault plans over "
              "high-contention workloads, full correctness checks",
@@ -315,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print every case, not just failures")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON campaign report to FILE")
+    p.add_argument("--full", action="store_true",
+                   help="include per-case results in the JSON report "
+                        "(default: summary + failures only)")
+    _add_runner_args(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -333,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timed repeats per app (default 3, quick: 1)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the JSON report to FILE (e.g. BENCH_kernel.json)")
+    _add_runner_args(p, with_cache=False)
     p.set_defaults(func=cmd_perf)
 
     return parser

@@ -236,30 +236,72 @@ def run_chaos(
     cases: int = 200,
     seed0: int = 0,
     progress=None,
+    jobs: Optional[int] = 1,
+    cache=None,
+    full: bool = False,
 ) -> Dict[str, Any]:
-    """Run a campaign of ``cases`` seeded chaos runs; return a report."""
-    results: List[CaseResult] = []
-    for i in range(cases):
-        case = make_case(seed0 + i)
-        outcome = run_case(case)
-        results.append(outcome)
+    """Run a campaign of ``cases`` seeded chaos runs; return a report.
+
+    Cases are independent (case ``i`` is a pure function of
+    ``seed0 + i``), so ``jobs`` > 1 (or None for all cores) fans them
+    out over the :mod:`repro.runner` process pool and ``cache``
+    memoizes case outcomes on disk — a warm re-run of an unchanged
+    campaign replays from cache in milliseconds (cached cases report
+    ``wall_seconds`` 0).  A crashed worker is retried on a fresh
+    process and then quarantined as an ``error`` case rather than
+    killing the campaign.
+
+    The report carries the summary, the failures, and the runner/cache
+    accounting; the full per-case ``results`` list (25k lines of JSON
+    for a 1000-case campaign) is included only with ``full=True``.
+    """
+    from repro.runner import JobSpec, run_jobs
+
+    specs = [JobSpec(kind="chaos", seed=seed0 + i, label=f"chaos {seed0 + i}")
+             for i in range(cases)]
+
+    results: List[CaseResult] = [None] * cases  # type: ignore[list-item]
+
+    def on_outcome(outcome) -> None:
+        if outcome.ok:
+            data = dict(outcome.payload["case"])
+            if outcome.cached:
+                data["wall_seconds"] = 0.0
+        else:
+            # Infrastructure failure (e.g. a quarantined worker crash):
+            # surface it as a structured case failure, not an exception.
+            data = CaseResult(
+                specs[outcome.index].seed, "unknown", 0,
+                outcome="error", detail=outcome.error,
+            ).as_dict()
+        case_result = CaseResult(**data)
+        results[outcome.index] = case_result
         if progress is not None:
-            progress(outcome)
+            progress(case_result)
+
+    _, stats = run_jobs(specs, jobs=jobs, cache=cache, progress=on_outcome)
+
     failures = [r for r in results if not r.ok]
     totals: Dict[str, int] = {}
+    outcome_counts: Dict[str, int] = {}
     for r in results:
+        outcome_counts[r.outcome] = outcome_counts.get(r.outcome, 0) + 1
         for key, value in r.fault_stats.items():
             totals[key] = totals.get(key, 0) + value
-    return {
+    report = {
         "cases": cases,
         "seed0": seed0,
         "passed": len(results) - len(failures),
         "failed": len(failures),
+        "outcome_counts": outcome_counts,
         "failures": [r.as_dict() for r in failures],
         "fault_totals": totals,
         "wall_seconds": sum(r.wall_seconds for r in results),
-        "results": [r.as_dict() for r in results],
+        "runner": stats.as_dict(),
     }
+    if full:
+        report["results"] = [r.as_dict() for r in results]
+    return report
 
 
 def format_report(report: Dict[str, Any]) -> str:
@@ -274,6 +316,17 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append("  faults injected: " + "  ".join(
             f"{k}={v}" for k, v in totals.items()
         ))
+    runner = report.get("runner")
+    if runner:
+        line = (f"  runner: {runner['jobs']} worker(s), "
+                f"{runner['executed']} executed, "
+                f"{runner['from_cache']} from cache, "
+                f"{runner['wall_s']:.2f}s elapsed")
+        if runner.get("cache"):
+            cache = runner["cache"]
+            line += (f"; cache {cache['hits']} hit / {cache['misses']} miss"
+                     f" / {cache['invalidations']} stale")
+        lines.append(line)
     for failure in report["failures"]:
         lines.append(
             f"  FAIL seed={failure['seed']} {failure['workload']}"

@@ -1,0 +1,134 @@
+"""On-disk content-addressed result cache for simulation jobs.
+
+Layout: one JSON file per job under ``.repro_cache/<key[:2]>/<key>.json``
+where ``key`` is the SHA-256 of the canonicalized job spec
+(:meth:`~repro.runner.spec.JobSpec.key`).  Each entry also records the
+*code fingerprint* — a SHA-256 over the contents of every ``.py`` file
+in the installed ``repro`` package — at the time it was written.  A
+lookup whose stored fingerprint differs from the current one is an
+**invalidation**: the spec is unchanged but the simulator is not, so the
+stale entry is discarded (and overwritten on the next store).  Because
+simulations are pure functions of ``(spec, code version)``, these two
+hashes are the complete invalidation story; there is no TTL.
+
+Counters (``hits`` / ``misses`` / ``invalidations`` / ``writes``) are
+kept per :class:`ResultCache` instance and surface in every runner
+report.  ``REPRO_CACHE_DIR`` overrides the default root; ``clear()``
+removes every entry under the root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Optional
+
+import repro
+
+#: Cached per process — hashing ~70 source files once is cheap, doing it
+#: per job lookup is not.
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """SHA-256 over (relative path, content) of every repro source file."""
+    global _FINGERPRINT
+    if _FINGERPRINT is not None and not refresh:
+        return _FINGERPRINT
+    package_root = pathlib.Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+DEFAULT_ROOT = ".repro_cache"
+
+
+class ResultCache:
+    """Content-addressed JSON store for job payloads."""
+
+    def __init__(self, root: Optional[str] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = pathlib.Path(
+            root or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_ROOT
+        )
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None (miss or stale)."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("fingerprint") != self.fingerprint:
+            # Same spec, different simulator: the entry is stale.
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"fingerprint": self.fingerprint, "key": key,
+                 "payload": payload}
+        # Atomic publish: a crashed or concurrent writer can never leave a
+        # half-written entry where a reader will find it.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "root": str(self.root),
+            "fingerprint": self.fingerprint[:12],
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "writes": self.writes,
+        }

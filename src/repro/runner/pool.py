@@ -1,0 +1,410 @@
+"""Process-pool execution of simulation job specs.
+
+``run_jobs(specs)`` resolves each :class:`~repro.runner.spec.JobSpec`
+to a :class:`JobOutcome` — from the result cache when the content
+address hits, otherwise by executing it — and returns outcomes in spec
+order plus a :class:`RunnerStats` accounting.  With ``jobs=1`` (the
+library default) everything runs in-process with no pickling, so
+breakpoints, profilers, and exception tracebacks behave exactly as in a
+plain loop.  With ``jobs > 1`` a pool of worker processes executes jobs
+concurrently; because every job is a pure function of its spec, the
+outcome list is bit-identical to the serial one regardless of
+scheduling.
+
+Failure containment, not propagation: a Python exception inside a job
+is deterministic (retrying cannot help) and becomes an ``error``
+outcome immediately; a *worker crash* (segfault, OOM kill) is requeued
+onto a fresh worker up to ``crash_retries`` times and then quarantined
+as an error outcome — a single bad job can never kill a campaign.
+Parents detect crashes by liveness-checking workers, each of which owns
+a private task queue so the parent always knows which job died with it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SystemConfig
+from repro.core.system import ScalableTCCSystem
+from repro.runner.cache import ResultCache
+from repro.runner.spec import JobSpec, build_workload
+from repro.runner.summary import ResultSummary
+
+CacheLike = Union[None, bool, str, ResultCache]
+
+#: How long the parent waits on the result queue before checking worker
+#: liveness.  Purely a crash-detection latency knob.
+_POLL_SECONDS = 0.1
+
+
+# -- job execution (runs inside workers, and in-process at jobs=1) --------
+
+
+def execute_job(spec: JobSpec) -> Dict[str, Any]:
+    """Run one job to a JSON-able payload.  Pure: the payload depends
+    only on the spec and the simulator version."""
+    if spec.kind == "sim":
+        return _execute_sim(spec)
+    if spec.kind == "chaos":
+        # Imported lazily: repro.faults.chaos imports the top-level
+        # package and must stay out of import cycles.
+        from repro.faults.chaos import make_case, run_case
+
+        return {"case": run_case(make_case(spec.seed)).as_dict()}
+    if spec.kind == "perf":
+        return _execute_perf(spec)
+    raise ValueError(f"unknown job kind {spec.kind!r}")
+
+
+def _execute_sim(spec: JobSpec) -> Dict[str, Any]:
+    config = spec.config or SystemConfig()
+    workload = build_workload(spec.workload, config, spec.workload_args)
+    system = ScalableTCCSystem(config)
+    result = system.run(workload, max_cycles=spec.max_cycles,
+                        verify=spec.verify)
+    return {"summary": ResultSummary.from_result(result).to_dict()}
+
+
+def _execute_perf(spec: JobSpec) -> Dict[str, Any]:
+    """``warmup`` untimed + ``repeats`` timed passes of one application;
+    repeats must be simulation-identical (the standing nondeterminism
+    tripwire of the perf harness)."""
+    config = spec.config or SystemConfig()
+    args = dict(spec.workload_args or {})
+
+    def one_pass() -> Tuple[float, ResultSummary]:
+        system = ScalableTCCSystem(config)
+        workload = build_workload("app", config,
+                                  {"name": spec.workload, **args})
+        start = time.perf_counter()
+        result = system.run(workload, max_cycles=spec.max_cycles,
+                            verify=spec.verify)
+        return time.perf_counter() - start, ResultSummary.from_result(result)
+
+    for _ in range(spec.warmup):
+        one_pass()
+    samples = [one_pass() for _ in range(max(1, spec.repeats))]
+    first = samples[0][1]
+    for _, summary in samples[1:]:
+        if summary.fingerprint() != first.fingerprint():
+            raise RuntimeError(
+                f"nondeterministic run: {spec.workload} repeats disagree "
+                f"(cycles {summary.cycles} != {first.cycles} or other fields)"
+            )
+    return {
+        "wall_samples_s": [wall for wall, _ in samples],
+        "summary": first.to_dict(),
+    }
+
+
+# -- outcomes and accounting ----------------------------------------------
+
+
+@dataclass
+class JobOutcome:
+    """Resolution of one spec: a payload, a cache hit, or an error."""
+
+    index: int
+    spec: JobSpec
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    attempts: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def summary(self) -> ResultSummary:
+        """The ResultSummary of a ``sim``/``perf`` payload."""
+        if not self.ok:
+            raise RuntimeError(
+                f"job {self.spec.describe()} failed: {self.error}"
+            )
+        return ResultSummary.from_dict(self.payload["summary"])
+
+
+@dataclass
+class RunnerStats:
+    """One run_jobs call's accounting, for reports and artifacts."""
+
+    jobs: int
+    total: int
+    executed: int = 0
+    from_cache: int = 0
+    errors: int = 0
+    crashes: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    wall_s: float = 0.0
+    cache: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "total": self.total,
+            "executed": self.executed,
+            "from_cache": self.from_cache,
+            "errors": self.errors,
+            "crashes": self.crashes,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "wall_s": round(self.wall_s, 4),
+            "cache": self.cache,
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"runner: {self.total} job(s) on {self.jobs} worker(s) "
+            f"in {self.wall_s:.2f}s — {self.executed} executed, "
+            f"{self.from_cache} from cache"
+        ]
+        if self.errors:
+            parts.append(f"{self.errors} failed")
+        if self.crashes:
+            parts.append(
+                f"{self.crashes} worker crash(es): "
+                f"{self.retried} retried, {self.quarantined} quarantined"
+            )
+        if self.cache:
+            parts.append(
+                f"cache {self.cache['hits']} hit / {self.cache['misses']} "
+                f"miss / {self.cache['invalidations']} stale"
+            )
+        return "; ".join(parts)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """None/0 means "all cores"; anything else must be a positive int."""
+    if jobs in (None, 0):
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or None for all cores), got {jobs}")
+    return jobs
+
+
+def as_cache(cache: CacheLike) -> Optional[ResultCache]:
+    """Normalize the ``cache`` argument consumers accept: None/False (no
+    caching), True (default location), a root path, or a ResultCache."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(root=str(cache))
+
+
+# -- the pool --------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: take (index, spec) until the None sentinel."""
+    while True:
+        try:
+            item = task_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if item is None:
+            break
+        index, spec = item
+        start = time.perf_counter()
+        try:
+            payload = execute_job(spec)
+        except Exception as exc:  # deterministic job failure, not a crash
+            text = str(exc).splitlines()[0] if str(exc) else ""
+            result_queue.put(("fail", worker_id, index,
+                              f"{type(exc).__name__}: {text}",
+                              time.perf_counter() - start))
+        else:
+            result_queue.put(("done", worker_id, index, payload,
+                              time.perf_counter() - start))
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: Optional[int] = 1,
+    cache: CacheLike = None,
+    progress: Optional[Callable[[JobOutcome], None]] = None,
+    crash_retries: int = 1,
+) -> Tuple[List[JobOutcome], RunnerStats]:
+    """Resolve every spec; outcomes come back in spec order.
+
+    ``progress`` is called once per outcome as it resolves (cache hits
+    first, then executed jobs in completion order).
+    """
+    specs = list(specs)
+    n_workers = resolve_jobs(jobs)
+    cache_obj = as_cache(cache)
+    stats = RunnerStats(jobs=n_workers, total=len(specs))
+    counters_before = (
+        (cache_obj.hits, cache_obj.misses, cache_obj.invalidations,
+         cache_obj.writes) if cache_obj is not None else None
+    )
+    started = time.perf_counter()
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+
+    def finish(outcome: JobOutcome) -> None:
+        outcomes[outcome.index] = outcome
+        spec = outcome.spec
+        if (outcome.ok and not outcome.cached and cache_obj is not None
+                and spec.cacheable and spec.kind != "perf"):
+            cache_obj.put(spec.key(), outcome.payload)
+        if progress is not None:
+            progress(outcome)
+
+    to_run: List[int] = []
+    for i, spec in enumerate(specs):
+        payload = None
+        if cache_obj is not None and spec.cacheable and spec.kind != "perf":
+            payload = cache_obj.get(spec.key())
+        if payload is not None:
+            stats.from_cache += 1
+            finish(JobOutcome(i, spec, payload=payload, cached=True,
+                              attempts=0))
+        else:
+            to_run.append(i)
+
+    if to_run:
+        if n_workers == 1 or len(to_run) == 1:
+            for i in to_run:
+                start = time.perf_counter()
+                try:
+                    payload = execute_job(specs[i])
+                except Exception as exc:
+                    text = str(exc).splitlines()[0] if str(exc) else ""
+                    finish(JobOutcome(
+                        i, specs[i],
+                        error=f"{type(exc).__name__}: {text}",
+                        wall_s=time.perf_counter() - start,
+                    ))
+                else:
+                    finish(JobOutcome(i, specs[i], payload=payload,
+                                      wall_s=time.perf_counter() - start))
+        else:
+            _run_parallel(specs, to_run, n_workers, finish, stats,
+                          crash_retries)
+
+    stats.executed = len(to_run)
+    stats.errors = sum(1 for o in outcomes if o is not None and not o.ok)
+    stats.wall_s = time.perf_counter() - started
+    if cache_obj is not None:
+        # Per-run deltas, not instance-lifetime counters: a warm re-run
+        # must report its own hits, not the cold run's misses.
+        stats.cache = cache_obj.stats()
+        for name, before in zip(
+                ("hits", "misses", "invalidations", "writes"),
+                counters_before):
+            stats.cache[name] = stats.cache[name] - before
+    return [o for o in outcomes if o is not None], stats
+
+
+def _run_parallel(
+    specs: List[JobSpec],
+    to_run: List[int],
+    n_workers: int,
+    finish: Callable[[JobOutcome], None],
+    stats: RunnerStats,
+    crash_retries: int,
+) -> None:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    result_queue = ctx.Queue()
+    pending = deque(to_run)
+    attempts: Dict[int, int] = {}
+    unresolved = set(to_run)
+    workers: List[Dict[str, Any]] = []
+    next_id = 0
+
+    def spawn() -> None:
+        nonlocal next_id
+        task_queue = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main, args=(next_id, task_queue, result_queue),
+            daemon=True,
+        )
+        proc.start()
+        workers.append({"id": next_id, "proc": proc, "queue": task_queue,
+                        "current": None})
+        next_id += 1
+
+    for _ in range(min(n_workers, len(pending))):
+        spawn()
+
+    try:
+        while unresolved:
+            for worker in workers:
+                if worker["current"] is None and pending:
+                    index = pending.popleft()
+                    worker["current"] = index
+                    worker["queue"].put((index, specs[index]))
+
+            try:
+                kind, worker_id, index, body, wall = result_queue.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                pass
+            else:
+                for worker in workers:
+                    if worker["id"] == worker_id:
+                        worker["current"] = None
+                if index in unresolved:
+                    unresolved.discard(index)
+                    tries = attempts.get(index, 0) + 1
+                    if kind == "done":
+                        finish(JobOutcome(index, specs[index], payload=body,
+                                          attempts=tries, wall_s=wall))
+                    else:
+                        finish(JobOutcome(index, specs[index], error=body,
+                                          attempts=tries, wall_s=wall))
+                continue
+
+            # No result within the poll window: check worker liveness.
+            for worker in list(workers):
+                if worker["proc"].is_alive():
+                    continue
+                workers.remove(worker)
+                index = worker["current"]
+                if index is None or index not in unresolved:
+                    continue
+                stats.crashes += 1
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] <= crash_retries:
+                    stats.retried += 1
+                    pending.append(index)
+                else:
+                    stats.quarantined += 1
+                    unresolved.discard(index)
+                    code = worker["proc"].exitcode
+                    finish(JobOutcome(
+                        index, specs[index],
+                        error=f"worker crashed (exit code {code}); "
+                              f"quarantined after {attempts[index]} attempts",
+                        attempts=attempts[index],
+                    ))
+            # Keep enough workers alive to drain the (possibly refilled)
+            # pending queue.
+            while pending and len(workers) < n_workers:
+                spawn()
+    finally:
+        for worker in workers:
+            try:
+                worker["queue"].put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in workers:
+            worker["proc"].join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker["proc"].is_alive():
+                worker["proc"].terminate()
+        result_queue.close()

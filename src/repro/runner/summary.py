@@ -1,0 +1,103 @@
+"""Picklable, JSON-able summaries of simulation outcomes.
+
+A :class:`ResultSummary` is the slice of a
+:class:`~repro.core.system.SimulationResult` that the multi-run
+consumers (sweeps, scaling studies, figure drivers) actually read:
+cycle counts, commit/violation totals, the machine-wide breakdown, and
+remote-traffic counters.  Unlike the full result it carries no
+per-processor sample lists, commit log, or memory image, so it is cheap
+to ship across a worker-process queue and small enough to archive as a
+cache entry.
+
+Every field is deterministic for a given job spec, so
+:meth:`ResultSummary.fingerprint` — a SHA-256 over the canonical JSON
+form — doubles as the bit-exactness witness for serial-vs-parallel and
+cold-vs-cached equivalence tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.system import SimulationResult
+
+BREAKDOWN_KEYS = ("useful", "miss", "idle", "commit", "violation")
+
+
+@dataclass
+class ResultSummary:
+    """Deterministic scalar summary of one simulation run."""
+
+    n_processors: int
+    cycles: int
+    committed_transactions: int
+    total_violations: int
+    committed_instructions: int
+    events_executed: int
+    breakdown: Dict[str, int] = field(default_factory=dict)
+    traffic_bytes_by_class: Dict[str, int] = field(default_factory=dict)
+    traffic_bytes: int = 0
+    traffic_packets: int = 0
+    #: max over nodes of bytes delivered into that node (Fig. 9's
+    #: per-node bandwidth argument).
+    traffic_peak_node_bytes: int = 0
+    fault_stats: Optional[Dict[str, int]] = None
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "ResultSummary":
+        return cls(
+            n_processors=result.config.n_processors,
+            cycles=result.cycles,
+            committed_transactions=result.committed_transactions,
+            total_violations=result.total_violations,
+            committed_instructions=result.committed_instructions,
+            events_executed=result.events_executed,
+            breakdown=dict(result.breakdown()),
+            traffic_bytes_by_class=dict(result.traffic.bytes_by_class),
+            traffic_bytes=result.traffic.total_bytes,
+            traffic_packets=result.traffic.packets,
+            traffic_peak_node_bytes=max(
+                result.traffic.bytes_into_node.values(), default=0
+            ),
+            fault_stats=(
+                result.fault_stats.as_dict() if result.fault_stats else None
+            ),
+        )
+
+    # -- the SimulationResult surface the multi-run consumers use ---------
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        total_cycles = self.cycles * self.n_processors
+        if not total_cycles:
+            return {key: 0.0 for key in BREAKDOWN_KEYS}
+        return {
+            key: self.breakdown.get(key, 0) / total_cycles
+            for key in BREAKDOWN_KEYS
+        }
+
+    def bytes_per_instruction(self) -> Dict[str, float]:
+        instructions = max(1, self.committed_instructions)
+        return {
+            cls_: count / instructions
+            for cls_, count in self.traffic_bytes_by_class.items()
+        }
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResultSummary":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form: two runs are bit-identical
+        exactly when their fingerprints match."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -126,4 +126,5 @@ class TestExperimentDrivers:
     def test_run_scaling_returns_per_count(self):
         results = run_scaling("barnes", [1, 2], scale=0.05)
         assert set(results) == {1, 2}
-        assert results[1].config.n_processors == 1
+        assert results[1].n_processors == 1
+        assert results[2].n_processors == 2
