@@ -11,6 +11,7 @@ Usage (also ``python -m repro <command>``):
     python -m repro sweep barnes --grid link_latency=1,3,8 --jobs 4
     python -m repro chaos --quick
     python -m repro chaos --cases 200 --jobs 4 --no-cache
+    python -m repro lint [--format json] [--baseline FILE]
 
 Multi-run commands (``sweep``, ``chaos``, ``perf``) fan their
 independent runs out over worker processes (``--jobs``, default: all
@@ -283,9 +284,12 @@ def cmd_chaos(args) -> int:
                   f"@{outcome.n_processors} {outcome.outcome} "
                   f"cycles={outcome.cycles}")
 
+    # --quick is the CI smoke: turn on paranoid invariant checking so
+    # the 20 cases also sweep I1-I5 between engine slices.
+    paranoid = args.paranoid or args.quick
     report = run_chaos(cases=cases, seed0=args.seed0, progress=progress,
                        jobs=args.jobs, cache=_cache_from(args),
-                       full=args.full)
+                       full=args.full, paranoid=paranoid)
     print(format_report(report))
     if args.out:
         import json
@@ -294,6 +298,26 @@ def cmd_chaos(args) -> int:
             json.dump(report, handle, indent=2)
         print(f"report written to {args.out}")
     return 0 if report["failed"] == 0 else 1
+
+
+def cmd_lint(args) -> int:
+    from repro.lint import Baseline, run_lint
+    from repro.lint.report import format_json, format_text
+
+    result = run_lint(root=args.root, baseline_path=args.baseline)
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(args.write_baseline)
+        print(f"baseline with {len(result.findings)} finding(s) "
+              f"written to {args.write_baseline}")
+        return 0
+    text = (format_json(result).rstrip("\n") if args.format == "json"
+            else format_text(result, verbose=args.verbose))
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(format_json(result))
+        print(f"json report written to {args.out}", file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def cmd_sweep(args) -> int:
@@ -417,7 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed0", type=int, default=0,
                    help="first case seed (case i uses seed0+i)")
     p.add_argument("--quick", action="store_true",
-                   help="CI smoke: 20 cases")
+                   help="CI smoke: 20 cases, paranoid invariant checks")
+    p.add_argument("--paranoid", action="store_true",
+                   help="check machine-wide invariants (I1-I5) between "
+                        "engine slices (implied by --quick)")
     p.add_argument("--verbose", action="store_true",
                    help="print every case, not just failures")
     p.add_argument("--out", metavar="FILE", default=None,
@@ -427,6 +454,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: summary + failures only)")
     _add_runner_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism & protocol-contract analysis "
+             "(see docs/LINTING.md)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="JSON baseline of grandfathered findings")
+    p.add_argument("--write-baseline", metavar="FILE", default=None,
+                   help="write the current findings as a baseline and exit 0")
+    p.add_argument("--root", metavar="DIR", default=None,
+                   help="package directory to lint "
+                        "(default: the installed repro package)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the JSON report to FILE")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list suppressed and baselined findings")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "perf",

@@ -328,14 +328,6 @@ class WriteBackMsg:
 
 
 @dataclass(slots=True)
-class WriteBackAck:
-    line: int
-
-    payload_bytes = ADDR_BYTES
-    traffic_class = CLASS_OVERHEAD
-
-
-@dataclass(slots=True)
 class FlushRequest:
     """Directory asks the owner to write a line back (true sharing)."""
 

@@ -462,7 +462,7 @@ class DirectoryController:
         pending = set()
         for entry in marked:
             invalidatees = self._invalidation_targets(entry) - {msg.committer}
-            for sharer in invalidatees:
+            for sharer in sorted(invalidatees):
                 self._send(
                     sharer,
                     Invalidation(

@@ -105,6 +105,10 @@ class ChaosCase:
     expected_commits: int
     expected_counter: Optional[int]  # hot-counter only
     plan: FaultPlan
+    #: Run with SystemConfig(paranoid=True): check the machine-wide
+    #: protocol invariants (I1-I5) between engine slices.  Passive — the
+    #: simulated event stream is bit-identical either way.
+    paranoid: bool = False
 
     def build_workload(self) -> Workload:
         if self.workload_name == "hot-counter":
@@ -122,6 +126,7 @@ class ChaosCase:
             seed=self.seed,
             ordered_network=False,
             fault_plan=self.plan,
+            paranoid=self.paranoid,
             # Small workloads: tighten the watchdog so a genuine wedge is
             # diagnosed in seconds, not simulated megacycles.
             watchdog_interval=25_000,
@@ -129,7 +134,7 @@ class ChaosCase:
         )
 
 
-def make_case(seed: int) -> ChaosCase:
+def make_case(seed: int, paranoid: bool = False) -> ChaosCase:
     """Deterministically derive case ``seed`` (workload, size, plan)."""
     rng = random.Random(seed * 0x9E3779B9 + 1)
     workload_name = rng.choice(("hot-counter", "list-set", "queue"))
@@ -147,6 +152,7 @@ def make_case(seed: int) -> ChaosCase:
         expected_commits=expected,
         expected_counter=counter,
         plan=random_fault_plan(seed, n_procs),
+        paranoid=paranoid,
     )
 
 
@@ -239,6 +245,7 @@ def run_chaos(
     jobs: Optional[int] = 1,
     cache=None,
     full: bool = False,
+    paranoid: bool = False,
 ) -> Dict[str, Any]:
     """Run a campaign of ``cases`` seeded chaos runs; return a report.
 
@@ -257,7 +264,12 @@ def run_chaos(
     """
     from repro.runner import JobSpec, run_jobs
 
-    specs = [JobSpec(kind="chaos", seed=seed0 + i, label=f"chaos {seed0 + i}")
+    # paranoid rides in workload_args so it reaches the worker-side
+    # make_case() *and* keys the cache (a paranoid pass must not be
+    # satisfied by a cached non-paranoid run).
+    case_args = {"paranoid": True} if paranoid else None
+    specs = [JobSpec(kind="chaos", seed=seed0 + i, workload_args=case_args,
+                     label=f"chaos {seed0 + i}")
              for i in range(cases)]
 
     results: List[CaseResult] = [None] * cases  # type: ignore[list-item]

@@ -178,7 +178,7 @@ class FaultInjector:
     def flush_held(self, engine: Any, deliver: Any) -> None:
         """Deliver any still-held packets immediately (end-of-run safety)."""
         held, self._held = self._held, {}
-        for packet, _deliver_at, _backstop in held.values():
+        for _rule_index, (packet, _deliver_at, _backstop) in sorted(held.items()):
             packet.deliver_time = engine.now
             deliver(packet)
 

@@ -1,0 +1,67 @@
+"""Rule base class and registry.
+
+A rule declares an ``id``, a one-line ``title``, a longer ``rationale``
+(both surface in ``docs/LINTING.md`` and the JSON report) and a
+``scope``:
+
+``sim``
+    ``check(module)`` runs on sim-path modules only.
+``all``
+    ``check(module)`` runs on every module.
+``tree``
+    ``check_tree(modules)`` runs once with the whole module dict —
+    for cross-module contracts like protocol-table conformance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.lint.finding import Finding
+from repro.lint.loader import Module
+
+SCOPES = ("sim", "all", "tree")
+
+
+class Rule:
+    """One static check.  Subclasses override ``check`` or ``check_tree``."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scope: str = "all"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        return ()
+
+    def check_tree(self, modules: Dict[str, Module]) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module: Module, line: int, message: str) -> Finding:
+        return Finding(rule=self.id, path=module.path, line=line,
+                       message=message, module=module.name)
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule_class.scope not in SCOPES:
+        raise ValueError(
+            f"rule {rule_class.id}: scope must be one of {SCOPES}, "
+            f"got {rule_class.scope!r}"
+        )
+    if any(existing.id == rule_class.id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY.append(rule_class)
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registration order."""
+    import repro.lint.rules  # noqa: F401  (populates the registry)
+
+    return [rule_class() for rule_class in _REGISTRY]

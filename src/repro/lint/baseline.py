@@ -1,0 +1,54 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a checked-in JSON list of findings accepted at the time
+the linter was introduced (or a rule was tightened).  Matching is by
+``(rule, path, message)`` — deliberately *not* by line number, so pure
+drift (an unrelated edit above the finding) does not resurrect it.
+
+New code should prefer an inline ``# repro: allow[...]`` with a reason;
+the baseline exists so a new rule can land as a gate on day one without
+a flag-day fix of every historical finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.finding import Finding
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(slots=True)
+class Baseline:
+    """The set of grandfathered finding identities."""
+
+    entries: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.identity() in self.entries
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls({finding.identity() for finding in findings})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path) as handle:
+            data = json.load(handle)
+        entries = set()
+        for item in data.get("findings", []):
+            entries.add((item["rule"], item["path"], item["message"]))
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        findings: List[dict] = [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in sorted(self.entries)
+        ]
+        with open(path, "w") as handle:
+            json.dump({"version": 1, "findings": findings}, handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,93 @@
+"""Load a package tree into parsed, suppression-aware modules."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lint.suppress import Suppressions, parse_suppressions
+
+
+@dataclass(slots=True)
+class Module:
+    """One parsed source file."""
+
+    name: str  # dotted module name, e.g. "repro.sim.engine"
+    path: str  # path as reported in findings (relative to the tree root)
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    #: Filled in by the classifier: "sim" or "driver".
+    path_kind: str = "driver"
+    #: Parse errors surface as findings, not crashes.
+    errors: List[str] = field(default_factory=list)
+
+
+def load_source(source: str, name: str = "fixture",
+                path: Optional[str] = None) -> Module:
+    """Parse one in-memory source string (test fixtures, CLI stdin)."""
+    path = path or name.replace(".", "/") + ".py"
+    tree = ast.parse(source, filename=path)
+    return Module(
+        name=name,
+        path=path,
+        tree=tree,
+        source=source,
+        suppressions=parse_suppressions(source, path),
+    )
+
+
+def module_name_for(root: str, file_path: str) -> str:
+    """Dotted module name of ``file_path`` inside package dir ``root``.
+
+    ``root`` is the package directory itself (e.g. ``src/repro``); the
+    package is named after its basename, so ``src/repro/sim/engine.py``
+    becomes ``repro.sim.engine``.
+    """
+    package = os.path.basename(os.path.normpath(root))
+    relative = os.path.relpath(file_path, root)
+    parts = [package] + relative.split(os.sep)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3]  # strip .py
+    return ".".join(parts)
+
+
+def load_tree(root: str) -> Dict[str, Module]:
+    """Parse every ``*.py`` under package directory ``root``.
+
+    Returns ``{dotted_name: Module}``.  Files that fail to parse are
+    still returned (with an empty AST) so the runner can report them.
+    """
+    modules: Dict[str, Module] = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in ("__pycache__",) and not d.endswith(".egg-info")
+        )
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            file_path = os.path.join(dirpath, filename)
+            name = module_name_for(root, file_path)
+            display = os.path.relpath(file_path, os.path.dirname(root))
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=display)
+                errors: List[str] = []
+            except SyntaxError as exc:
+                tree = ast.Module(body=[], type_ignores=[])
+                errors = [f"syntax error: {exc.msg} (line {exc.lineno})"]
+            modules[name] = Module(
+                name=name,
+                path=display,
+                tree=tree,
+                source=source,
+                suppressions=parse_suppressions(source, display),
+                errors=errors,
+            )
+    return modules

@@ -1,0 +1,98 @@
+"""The declared protocol contract: who handles and who emits each message.
+
+This is the static twin of Table 1 in the paper (plus the hardening
+acks of ``repro.faults``): for every coherence
+:mod:`message type <repro.core.messages>` it declares
+
+* ``handler`` — the one module whose dispatch serves the message
+  (directories serve requests, processors consume replies, the TID
+  vendor answers inline in the node router, the token engine handles
+  the baseline's broadcast traffic);
+* ``emitters`` — the modules allowed to construct (send) it;
+* ``commit_critical`` — True for the request messages the commit
+  protocol's forward progress depends on end-to-end; every construction
+  site of these must sit in a function that also arms a
+  :class:`~repro.faults.retry.Retrier` / ``AckTracker`` (PR 2's
+  hardening contract: a single lost packet must never wedge a commit).
+
+``repro lint`` extracts the *actual* handler/emission graph from the
+source (:mod:`repro.lint.rules.protocol`) and fails on any divergence;
+``tests/test_protocol_table.py`` additionally pins the table against
+``core/messages.py`` so an added message type cannot land without a
+declared — and implemented — handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+PROCESSOR = "repro.processor.core"
+COMMIT_ENGINE = "repro.processor.commit"
+DIRECTORY = "repro.directory.controller"
+VENDOR = "repro.core.system"  # TID requests are answered in the node router
+TOKEN = "repro.baseline.token"
+
+
+@dataclass(slots=True, frozen=True)
+class MessageContract:
+    """Declared handling/emission contract for one message type."""
+
+    handler: str
+    emitters: Tuple[str, ...]
+    commit_critical: bool = False
+
+
+PROTOCOL_TABLE: Dict[str, MessageContract] = {
+    # -- data movement --------------------------------------------------
+    "LoadRequest": MessageContract(
+        handler=DIRECTORY, emitters=(PROCESSOR,), commit_critical=True,
+    ),
+    "LoadReply": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "FlushRequest": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    # A write-back normally leaves a processor; the directory re-emits
+    # one when a stale InvAck turns out to carry the only copy of a
+    # line's data (the salvage path of the hardened protocol).
+    "WriteBackMsg": MessageContract(
+        handler=DIRECTORY, emitters=(PROCESSOR, DIRECTORY),
+    ),
+    # -- TID vendor -----------------------------------------------------
+    "TidRequest": MessageContract(
+        handler=VENDOR, emitters=(COMMIT_ENGINE,), commit_critical=True,
+    ),
+    "TidReply": MessageContract(handler=PROCESSOR, emitters=(VENDOR,)),
+    # -- commit protocol ------------------------------------------------
+    "SkipMsg": MessageContract(
+        handler=DIRECTORY, emitters=(COMMIT_ENGINE,), commit_critical=True,
+    ),
+    "SkipAck": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "ProbeRequest": MessageContract(
+        handler=DIRECTORY, emitters=(COMMIT_ENGINE,), commit_critical=True,
+    ),
+    "ProbeReply": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "MarkMsg": MessageContract(
+        handler=DIRECTORY, emitters=(COMMIT_ENGINE,), commit_critical=True,
+    ),
+    "MarkAck": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "CommitMsg": MessageContract(
+        handler=DIRECTORY, emitters=(COMMIT_ENGINE,), commit_critical=True,
+    ),
+    "CommitAck": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "AbortMsg": MessageContract(
+        handler=DIRECTORY, emitters=(COMMIT_ENGINE,), commit_critical=True,
+    ),
+    "AbortAck": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "Invalidation": MessageContract(handler=PROCESSOR, emitters=(DIRECTORY,)),
+    "InvAck": MessageContract(handler=DIRECTORY, emitters=(PROCESSOR,)),
+    # -- token-serialized baseline (Section 2.2) ------------------------
+    "TokenInv": MessageContract(handler=TOKEN, emitters=(TOKEN,)),
+    "TokenInvAck": MessageContract(handler=TOKEN, emitters=(TOKEN,)),
+    "TokenWrite": MessageContract(handler=DIRECTORY, emitters=(TOKEN,)),
+    "TokenWriteAck": MessageContract(handler=TOKEN, emitters=(DIRECTORY,)),
+}
+
+#: Modules whose dispatch structures are scanned for handlers.
+HANDLER_MODULES = (PROCESSOR, COMMIT_ENGINE, DIRECTORY, VENDOR, TOKEN)
+
+#: Names that arm a timeout-retry for the request constructed nearby.
+RETRY_WRAPPERS = ("Retrier", "AckTracker", "_retry")

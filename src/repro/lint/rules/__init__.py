@@ -1,0 +1,3 @@
+"""Rule families.  Importing this package populates the registry."""
+
+from repro.lint.rules import determinism, protocol, spec  # noqa: F401

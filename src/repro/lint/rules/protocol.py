@@ -1,0 +1,297 @@
+"""Protocol-contract rules: the source must match the declared table.
+
+The extraction here is deliberately structural, not semantic: handler
+sites are message-type names used in dispatch structures (dict literals
+mapping type -> bound handler, ``kind is X`` / ``isinstance(msg, X)``
+tests) inside functions named ``deliver`` / ``_serve`` / ``route``;
+emission sites are constructor calls of message-type names.  That is
+exactly the shape of the hand-written dispatch in ``processor/`` and
+``directory/``, so a new message type, a moved handler, or a rogue send
+site shows up as a diff against
+:data:`~repro.lint.protocol_table.PROTOCOL_TABLE`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.astutil import call_name, dataclass_decorator
+from repro.lint.base import Rule, register
+from repro.lint.finding import Finding
+from repro.lint.loader import Module
+from repro.lint.protocol_table import (
+    HANDLER_MODULES,
+    PROTOCOL_TABLE,
+    RETRY_WRAPPERS,
+)
+
+#: Functions whose bodies are treated as dispatch structures.
+DISPATCH_FUNCTIONS = ("deliver", "_serve", "route")
+
+
+def _messages_module(modules: Dict[str, Module]) -> Optional[Module]:
+    for name, module in modules.items():
+        if name.endswith(".core.messages"):
+            return module
+    return None
+
+
+def message_types(modules: Dict[str, Module]) -> Dict[str, int]:
+    """Message dataclass names declared in ``core/messages.py`` (with
+    their definition lines)."""
+    module = _messages_module(modules)
+    if module is None:
+        return {}
+    types: Dict[str, int] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and dataclass_decorator(node):
+            types[node.name] = node.lineno
+    return types
+
+
+@dataclass(slots=True, frozen=True)
+class HandlerSite:
+    message: str
+    module: str
+    function: str
+    line: int
+
+
+@dataclass(slots=True, frozen=True)
+class EmissionSite:
+    message: str
+    module: str
+    function: str  # enclosing function chain, innermost last ("a.b")
+    line: int
+    retry_wrapped: bool
+
+
+def _function_index(tree: ast.AST) -> Dict[ast.AST, Tuple[ast.AST, ...]]:
+    """Map every node to its chain of enclosing function definitions."""
+    index: Dict[ast.AST, Tuple[ast.AST, ...]] = {}
+
+    def visit(node: ast.AST, chain: Tuple[ast.AST, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            extended = chain
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                extended = chain + (child,)
+            index[child] = extended
+            visit(child, extended)
+
+    visit(tree, ())
+    return index
+
+
+def _arms_retry(function: ast.AST) -> bool:
+    for node in ast.walk(function):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name and name.rsplit(".", 1)[-1] in RETRY_WRAPPERS:
+                return True
+    return False
+
+
+def extract_handlers(modules: Dict[str, Module]) -> List[HandlerSite]:
+    """Every message-dispatch site in the declared handler modules."""
+    types = message_types(modules)
+    sites: List[HandlerSite] = []
+    for module_name in HANDLER_MODULES:
+        module = modules.get(module_name)
+        if module is None:
+            continue
+        index = _function_index(module.tree)
+        for node in ast.walk(module.tree):
+            chain = index.get(node, ())
+            if not any(f.name in DISPATCH_FUNCTIONS for f in chain):
+                continue
+            function = chain[-1].name if chain else "<module>"
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Name) and key.id in types:
+                        sites.append(HandlerSite(
+                            key.id, module_name, function, key.lineno,
+                        ))
+            elif isinstance(node, ast.Compare) and all(
+                isinstance(op, ast.Is) for op in node.ops
+            ):
+                for comparator in node.comparators:
+                    if (
+                        isinstance(comparator, ast.Name)
+                        and comparator.id in types
+                    ):
+                        sites.append(HandlerSite(
+                            comparator.id, module_name, function,
+                            comparator.lineno,
+                        ))
+            elif (
+                isinstance(node, ast.Call)
+                and call_name(node) == "isinstance"
+                and len(node.args) == 2
+            ):
+                targets = (
+                    node.args[1].elts
+                    if isinstance(node.args[1], ast.Tuple)
+                    else [node.args[1]]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in types:
+                        sites.append(HandlerSite(
+                            target.id, module_name, function, target.lineno,
+                        ))
+    return sites
+
+
+def extract_emissions(modules: Dict[str, Module]) -> List[EmissionSite]:
+    """Every constructor call of a message type, anywhere in the tree
+    (outside ``core/messages.py`` itself and the lint package)."""
+    types = message_types(modules)
+    sites: List[EmissionSite] = []
+    for name, module in modules.items():
+        if name.endswith(".core.messages") or ".lint" in name:
+            continue
+        index = _function_index(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in types
+            ):
+                continue
+            chain = index.get(node, ())
+            sites.append(EmissionSite(
+                message=node.func.id,
+                module=name,
+                function=".".join(f.name for f in chain) or "<module>",
+                line=node.lineno,
+                retry_wrapped=any(_arms_retry(f) for f in chain),
+            ))
+    return sites
+
+
+@register
+class HandlerCoverageRule(Rule):
+    id = "proto-handler-coverage"
+    title = "every message type has exactly its declared handler"
+    rationale = (
+        "A message type without a dispatch entry is dead on arrival (the "
+        "node router raises on unknown messages); one with two handlers "
+        "races them.  The protocol table is the reviewed contract; the "
+        "source must match it exactly."
+    )
+    scope = "tree"
+
+    def check_tree(self, modules: Dict[str, Module]) -> Iterable[Finding]:
+        types = message_types(modules)
+        if not types:
+            return  # not a tree with a coherence message set
+        messages_mod = _messages_module(modules)
+        table_mod = next(
+            (m for n, m in modules.items() if n.endswith(".protocol_table")),
+            messages_mod,
+        )
+        by_message: Dict[str, List[HandlerSite]] = {}
+        for site in extract_handlers(modules):
+            by_message.setdefault(site.message, []).append(site)
+
+        for name, line in sorted(types.items()):
+            contract = PROTOCOL_TABLE.get(name)
+            if contract is None:
+                yield self.finding(
+                    messages_mod, line,
+                    f"message type `{name}` is not declared in the protocol "
+                    "table (repro/lint/protocol_table.py)",
+                )
+                continue
+            sites = by_message.get(name, [])
+            if not sites:
+                yield self.finding(
+                    messages_mod, line,
+                    f"message type `{name}` has no handler: the table "
+                    f"declares `{contract.handler}` but no dispatch site "
+                    "was found",
+                )
+                continue
+            if len(sites) > 1:
+                places = ", ".join(
+                    f"{s.module}:{s.line} ({s.function})" for s in sites
+                )
+                yield self.finding(
+                    messages_mod, line,
+                    f"message type `{name}` has {len(sites)} dispatch "
+                    f"sites — exactly one handler expected: {places}",
+                )
+                continue
+            site = sites[0]
+            if site.module != contract.handler:
+                yield self.finding(
+                    messages_mod, line,
+                    f"message type `{name}` is handled in `{site.module}` "
+                    f"but the table declares `{contract.handler}`",
+                )
+        for name in sorted(set(PROTOCOL_TABLE) - set(types)):
+            yield self.finding(
+                table_mod, 1,
+                f"protocol table declares `{name}` but core/messages.py "
+                "defines no such message type",
+            )
+
+
+@register
+class EmissionRule(Rule):
+    id = "proto-emission"
+    title = "messages are only constructed by their declared senders"
+    rationale = (
+        "The commit protocol's correctness argument assigns each message "
+        "a direction (processor->directory requests, directory->processor "
+        "replies/invalidations).  A construction site outside the "
+        "declared senders is either a protocol change (update the table, "
+        "with review) or a layering bug."
+    )
+    scope = "tree"
+
+    def check_tree(self, modules: Dict[str, Module]) -> Iterable[Finding]:
+        if not message_types(modules):
+            return
+        for site in extract_emissions(modules):
+            contract = PROTOCOL_TABLE.get(site.message)
+            if contract is None:
+                continue  # undeclared types are HandlerCoverageRule's job
+            if site.module not in contract.emitters:
+                module = modules[site.module]
+                yield self.finding(
+                    module, site.line,
+                    f"`{site.message}` constructed in `{site.module}` "
+                    f"({site.function}); declared emitters: "
+                    f"{', '.join(contract.emitters)}",
+                )
+
+
+@register
+class RetryWrapRule(Rule):
+    id = "proto-retry-wrap"
+    title = "commit-critical sends sit under a retry/backoff wrapper"
+    rationale = (
+        "On an unreliable fabric a single dropped request must never "
+        "wedge a commit (the non-blocking guarantee).  Every function "
+        "that constructs a commit-critical request must also arm a "
+        "Retrier/AckTracker so the send is covered end-to-end."
+    )
+    scope = "tree"
+
+    def check_tree(self, modules: Dict[str, Module]) -> Iterable[Finding]:
+        if not message_types(modules):
+            return
+        for site in extract_emissions(modules):
+            contract = PROTOCOL_TABLE.get(site.message)
+            if contract is None or not contract.commit_critical:
+                continue
+            if not site.retry_wrapped:
+                module = modules[site.module]
+                yield self.finding(
+                    module, site.line,
+                    f"commit-critical `{site.message}` constructed in "
+                    f"`{site.function}` with no Retrier/AckTracker in the "
+                    "enclosing function",
+                )

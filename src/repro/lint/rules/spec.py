@@ -1,0 +1,230 @@
+"""Spec/cache rules: job specs must stay declarative and hashable.
+
+The result cache (PR 3) addresses results by
+``sha256(json.dumps(spec.canonical(), sort_keys=True))`` and ships
+specs to worker processes by pickling.  Both properties are easy to
+break silently — a lambda registered as a workload factory unpickles
+as an error, an unsorted ``json.dumps`` makes the cache key depend on
+dict insertion order, a ``set`` field serializes in hash order.  These
+rules pin the conventions that keep the cache sound.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.astutil import call_name, dataclass_decorator, dotted_name
+from repro.lint.base import Rule, register
+from repro.lint.finding import Finding
+from repro.lint.loader import Module
+
+#: Annotation names acceptable in a cache-keyed dataclass: JSON-stable
+#: scalars, containers with deterministic iteration, and the domain
+#: configs whose ``asdict`` output is itself canonical.
+_SERIALIZABLE_NAMES: Set[str] = {
+    "int", "float", "bool", "str", "bytes", "None",
+    "Optional", "Union", "Any",
+    "Dict", "dict", "List", "list", "Tuple", "tuple",
+    "Mapping", "Sequence",
+    "SystemConfig", "FaultPlan", "PacketFault", "NodeFault",
+}
+
+_HASH_CALLS = ("sha256", "sha1", "sha512", "md5", "blake2b", "blake2s")
+
+
+def _module_level_bindings(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class NamedFactoryRule(Rule):
+    id = "spec-factory-named"
+    title = "workload factories are named module-level callables"
+    rationale = (
+        "JobSpec reaches worker processes by pickling a factory *name*; "
+        "the factory itself must be importable by that name on the "
+        "worker side.  A lambda or closure registered in "
+        "WORKLOAD_FACTORIES works in-process and breaks exactly when "
+        "the parallel runner is used."
+    )
+    scope = "all"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        bindings = _module_level_bindings(module.tree)
+        candidates: List[ast.AST] = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) is not None
+                and call_name(node).rsplit(".", 1)[-1] == "register_workload"
+                and len(node.args) >= 2
+            ):
+                candidates.append(node.args[1])
+        # Direct registry writes are only suspect at module level; the
+        # sanctioned `register_workload` helper assigns a parameter.
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Subscript)
+                and dotted_name(node.targets[0].value) is not None
+                and dotted_name(node.targets[0].value).endswith(
+                    "WORKLOAD_FACTORIES")
+            ):
+                candidates.append(node.value)
+        for factory in candidates:
+            if isinstance(factory, ast.Lambda):
+                yield self.finding(
+                    module, factory.lineno,
+                    "workload factory is a lambda; define a module-level "
+                    "function and register it by name",
+                )
+            elif not isinstance(factory, ast.Name):
+                yield self.finding(
+                    module, factory.lineno,
+                    "workload factory must be a plain name bound to a "
+                    "module-level callable (got a "
+                    f"{type(factory).__name__} expression)",
+                )
+            elif factory.id not in bindings:
+                yield self.finding(
+                    module, factory.lineno,
+                    f"workload factory `{factory.id}` is not bound at "
+                    "module level; closures do not survive pickling",
+                )
+
+
+@register
+class CanonicalJsonRule(Rule):
+    id = "spec-canonical-json"
+    title = "hashed JSON is serialized with sort_keys=True"
+    rationale = (
+        "A cache key derived from json.dumps of a dict is only stable "
+        "if key order is forced; insertion order is an implementation "
+        "detail of the code that built the dict and changes under "
+        "refactoring, silently splitting the cache."
+    )
+    scope = "all"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            hashes = any(
+                isinstance(sub, ast.Call)
+                and call_name(sub) is not None
+                and call_name(sub).rsplit(".", 1)[-1] in _HASH_CALLS
+                for sub in ast.walk(node)
+            )
+            if not hashes:
+                continue
+            for sub in ast.walk(node):
+                if not (
+                    isinstance(sub, ast.Call)
+                    and call_name(sub) in ("json.dumps", "dumps")
+                ):
+                    continue
+                sorted_kw = next(
+                    (kw for kw in sub.keywords if kw.arg == "sort_keys"),
+                    None,
+                )
+                if sorted_kw is None or not (
+                    isinstance(sorted_kw.value, ast.Constant)
+                    and sorted_kw.value.value is True
+                ):
+                    yield self.finding(
+                        module, sub.lineno,
+                        f"json.dumps feeding a hash in `{node.name}` must "
+                        "pass sort_keys=True",
+                    )
+
+
+def _annotation_ok(node: ast.AST) -> Tuple[bool, str]:
+    """(ok, offending-name) for a field annotation subtree."""
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return True, ""
+        if isinstance(node.value, str):  # forward reference
+            try:
+                return _annotation_ok(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                return False, node.value
+        return False, repr(node.value)
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = (dotted_name(node) or "?").rsplit(".", 1)[-1]
+        return (name in _SERIALIZABLE_NAMES), name
+    if isinstance(node, ast.Subscript):
+        ok, bad = _annotation_ok(node.value)
+        if not ok:
+            return ok, bad
+        params = (
+            node.slice.elts if isinstance(node.slice, ast.Tuple)
+            else [node.slice]
+        )
+        for param in params:
+            if isinstance(param, ast.Constant) and param.value is Ellipsis:
+                continue
+            ok, bad = _annotation_ok(param)
+            if not ok:
+                return ok, bad
+        return True, ""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        ok, bad = _annotation_ok(node.left)
+        if not ok:
+            return ok, bad
+        return _annotation_ok(node.right)
+    return False, ast.dump(node)[:40]
+
+
+@register
+class CacheKeyFieldRule(Rule):
+    id = "spec-cache-key-field"
+    title = "cache-keyed dataclass fields are canonically serializable"
+    rationale = (
+        "Any dataclass that defines canonical()/key() feeds its fields "
+        "into a content hash.  Fields typed as sets, callables, or "
+        "arbitrary objects serialize by repr/hash order and poison the "
+        "key with run-to-run noise."
+    )
+    scope = "all"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.ClassDef)
+                    and dataclass_decorator(node)):
+                continue
+            methods = {
+                item.name for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if not {"canonical", "key"} & methods:
+                continue
+            for item in node.body:
+                if not (isinstance(item, ast.AnnAssign)
+                        and isinstance(item.target, ast.Name)):
+                    continue
+                ok, bad = _annotation_ok(item.annotation)
+                if not ok:
+                    yield self.finding(
+                        module, item.lineno,
+                        f"field `{node.name}.{item.target.id}` has "
+                        f"non-canonical type `{bad}`; cache-keyed fields "
+                        "must be JSON-stable "
+                        "(scalars, Optional/Dict/List/Tuple, domain configs)",
+                    )

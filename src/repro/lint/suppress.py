@@ -1,0 +1,114 @@
+"""Inline suppressions: ``# repro: allow[rule-id] reason``.
+
+A suppression silences matching findings on its own line, or — when the
+comment stands alone — on the next non-blank, non-comment line (so a
+statement can carry the annotation on the line above it).  Several rule
+ids may be listed: ``# repro: allow[rule-a, rule-b] reason``.
+
+The *reason* is mandatory: an allow-comment is a reviewed exemption,
+and the review lives in the reason text.  A reasonless allow is itself
+reported (rule id ``lint-allow-reason``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.lint.finding import Finding
+
+ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+#: Rule id under which malformed suppressions are reported.
+REASON_RULE = "lint-allow-reason"
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed allow-comment."""
+
+    line: int  # line the comment sits on
+    applies_to: int  # line whose findings it silences
+    rules: Set[str]
+    reason: str
+    used: bool = False
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """All allow-comments of one file, indexed by the line they cover."""
+
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    malformed: List[Finding] = field(default_factory=list)
+
+    def matches(self, rule: str, line: int) -> bool:
+        """Silence (and mark used) a finding of ``rule`` at ``line``."""
+        for suppression in self.by_line.get(line, ()):
+            if rule in suppression.rules:
+                suppression.used = True
+                return True
+        return False
+
+    def unused(self) -> List[Suppression]:
+        return [
+            s for entries in self.by_line.values() for s in entries if not s.used
+        ]
+
+
+def parse_suppressions(source: str, path: str) -> Suppressions:
+    """Extract every allow-comment from ``source`` via the tokenizer
+    (so string literals that merely *look* like comments never match)."""
+    result = Suppressions()
+    comments: List[tuple] = []  # (line, is_standalone, text)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        logical_start: Dict[int, bool] = {}
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                start_col = token.start[1]
+                prefix = token.line[:start_col]
+                comments.append((token.start[0], not prefix.strip(), token.string))
+    except tokenize.TokenError:
+        # Unterminated input: fall back to a line scan, still better than
+        # dropping suppressions on the floor.
+        for number, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                text = line[line.index("#"):]
+                comments.append((number, not line.split("#")[0].strip(), text))
+
+    lines = source.splitlines()
+
+    def next_code_line(after: int) -> int:
+        for number in range(after + 1, len(lines) + 1):
+            stripped = lines[number - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                return number
+        return after
+
+    for number, standalone, text in comments:
+        match = ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        rules.discard("")
+        reason = match.group("reason").strip()
+        if not rules or not reason:
+            result.malformed.append(Finding(
+                rule=REASON_RULE,
+                path=path,
+                line=number,
+                message=(
+                    "allow-comment needs at least one rule id and a reason: "
+                    "`# repro: allow[rule-id] reason`"
+                ),
+            ))
+            continue
+        applies_to = next_code_line(number) if standalone else number
+        entry = Suppression(number, applies_to, rules, reason)
+        result.by_line.setdefault(applies_to, []).append(entry)
+    return result

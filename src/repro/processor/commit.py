@@ -143,9 +143,9 @@ class ScalableCommitEngine(CommitEngine):
             self._send_skips(tid, skip_targets)
             skips_sent = True
 
-        for directory in writing:
+        for directory in sorted(writing):
             self._send_probe(directory, tid, True, hardened)
-        for directory in sharing - writing:
+        for directory in sorted(sharing - writing):
             self._send_probe(directory, tid, False, hardened)
 
         marks_sent: Set[int] = set()
@@ -154,7 +154,7 @@ class ScalableCommitEngine(CommitEngine):
             if proc.violated:
                 yield from self._abort(writing, skips_sent, marks_sent)
                 return False
-            for directory in writing:
+            for directory in sorted(writing):
                 if directory in marks_sent:
                     continue
                 reply = proc.probe_replies.get((directory, True))
@@ -198,7 +198,7 @@ class ScalableCommitEngine(CommitEngine):
         ack_start = proc.engine.now
         if not skips_sent:
             self._send_skips(tid, skip_targets)
-        for directory in writing:
+        for directory in sorted(writing):
             commit_msg = CommitMsg(proc.node, tid, attempt)
             proc._send(directory, commit_msg)
             if hardened:
@@ -287,13 +287,13 @@ class ScalableCommitEngine(CommitEngine):
                 ),
             )
 
-    def _send_aborts(self, tid: int, targets, retain: bool) -> None:
+    def _send_aborts(self, tid: int, targets: Set[int], retain: bool) -> None:
         proc = self.proc
         if not targets:
             return
         attempt = proc._attempt_id
         hardened = proc._hardened
-        for directory in targets:
+        for directory in sorted(targets):
             proc._send(
                 directory,
                 AbortMsg(proc.node, tid, retain=retain, attempt=attempt,

@@ -225,7 +225,13 @@ class TCCProcessor:
                                    line=msg.line)
             self._send(
                 self._load_home,
-                LoadRequest(self.node, self._load_line, self._load_seq),
+                # The resend is already covered end-to-end by the Retrier
+                # armed at the original issue site: its closure reads the
+                # live _load_seq, so it re-sends *this* request on timeout.
+                # A second Retrier here would double-fire.
+                LoadRequest(  # repro: allow[proto-retry-wrap] covered by issue-site Retrier
+                    self.node, self._load_line, self._load_seq,
+                ),
             )
             return
         event = self._load_event

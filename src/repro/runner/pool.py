@@ -56,7 +56,8 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
         # package and must stay out of import cycles.
         from repro.faults.chaos import make_case, run_case
 
-        return {"case": run_case(make_case(spec.seed)).as_dict()}
+        case = make_case(spec.seed, **(spec.workload_args or {}))
+        return {"case": run_case(case).as_dict()}
     if spec.kind == "perf":
         return _execute_perf(spec)
     raise ValueError(f"unknown job kind {spec.kind!r}")

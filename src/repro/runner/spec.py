@@ -62,29 +62,35 @@ def build_workload(name: str, config: SystemConfig,
     return WORKLOAD_FACTORIES[name](config, **(args or {}))
 
 
-register_workload(
-    "app",
-    lambda config, name, scale=1.0: app_workload(
+def make_app_workload(config: SystemConfig, name: str,
+                      scale: float = 1.0) -> Workload:
+    return app_workload(
         name, scale=scale,
         line_size=config.line_size, word_size=config.word_size,
-    ),
-)
-register_workload(
-    "counter",
-    lambda config, **kw: CounterWorkload(**kw),
-)
-register_workload(
-    "list-set",
-    lambda config, **kw: ListSetWorkload(**kw),
-)
-register_workload(
-    "queue",
-    lambda config, **kw: QueueWorkload(**kw),
-)
-register_workload(
-    "matrix-tile",
-    lambda config, **kw: MatrixTileWorkload(**kw),
-)
+    )
+
+
+def make_counter_workload(config: SystemConfig, **kw: Any) -> Workload:
+    return CounterWorkload(**kw)
+
+
+def make_list_set_workload(config: SystemConfig, **kw: Any) -> Workload:
+    return ListSetWorkload(**kw)
+
+
+def make_queue_workload(config: SystemConfig, **kw: Any) -> Workload:
+    return QueueWorkload(**kw)
+
+
+def make_matrix_tile_workload(config: SystemConfig, **kw: Any) -> Workload:
+    return MatrixTileWorkload(**kw)
+
+
+register_workload("app", make_app_workload)
+register_workload("counter", make_counter_workload)
+register_workload("list-set", make_list_set_workload)
+register_workload("queue", make_queue_workload)
+register_workload("matrix-tile", make_matrix_tile_workload)
 
 
 @dataclass(frozen=True)

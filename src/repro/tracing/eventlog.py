@@ -25,7 +25,7 @@ CATEGORIES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtocolEvent:
     """One logged protocol event."""
 

@@ -1,0 +1,7 @@
+"""Positive fixture: simulation outcome depends on the environment."""
+
+import os
+
+
+def knob():
+    return os.environ.get("REPRO_KNOB", "0")

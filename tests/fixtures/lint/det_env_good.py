@@ -1,0 +1,5 @@
+"""Negative fixture: configuration is threaded explicitly."""
+
+
+def knob(config):
+    return config.knob

@@ -1,0 +1,7 @@
+"""Positive fixture: draws from the shared global RNG."""
+
+import random
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,11 @@
+"""Negative fixture: instance-owned, explicitly seeded generator."""
+
+import random
+
+
+class Engine:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def jitter(self):
+        return self.rng.random()

@@ -1,0 +1,5 @@
+"""Positive fixture: ordering by memory address."""
+
+
+def stable(entries):
+    return sorted(entries, key=id)

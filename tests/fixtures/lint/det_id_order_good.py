@@ -1,0 +1,5 @@
+"""Negative fixture: ordering by a stable domain key."""
+
+
+def stable(entries):
+    return sorted(entries, key=lambda entry: entry.line)

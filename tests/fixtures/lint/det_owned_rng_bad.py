@@ -1,0 +1,5 @@
+"""Positive fixture: a process-wide shared RNG instance."""
+
+import random
+
+_RNG = random.Random(0)

@@ -1,0 +1,8 @@
+"""Negative fixture: the RNG belongs to the object that draws from it."""
+
+import random
+
+
+class Network:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)

@@ -1,0 +1,11 @@
+"""Positive fixture: an unslotted message dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PingMsg:
+    node: int
+
+    traffic_class = "overhead"
+    payload_bytes = 4

@@ -1,0 +1,11 @@
+"""Negative fixture: the message dataclass declares slots."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class PingMsg:
+    node: int
+
+    traffic_class = "overhead"
+    payload_bytes = 4

@@ -1,0 +1,10 @@
+"""Positive fixture: set iteration order decides message order."""
+
+
+class Broadcaster:
+    def broadcast(self, targets: set, msg):
+        for node in targets:
+            self._send(node, msg)
+
+    def _send(self, node, msg):
+        pass

@@ -1,0 +1,10 @@
+"""Negative fixture: sorted() pins the send order."""
+
+
+class Broadcaster:
+    def broadcast(self, targets: set, msg):
+        for node in sorted(targets):
+            self._send(node, msg)
+
+    def _send(self, node, msg):
+        pass

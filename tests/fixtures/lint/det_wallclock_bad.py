@@ -1,0 +1,7 @@
+"""Positive fixture: reads the host clock in simulated code."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,5 @@
+"""Negative fixture: simulated time comes from the engine."""
+
+
+def stamp(engine):
+    return engine.now

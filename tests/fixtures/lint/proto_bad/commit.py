@@ -1,0 +1,9 @@
+"""Loaded as ``repro.processor.commit``: emits commit-critical
+TidRequest with no retry wrapper in the function (proto-retry-wrap)."""
+
+from repro.core.messages import TidRequest
+
+
+class CommitEngine:
+    def acquire_tid(self, proc):
+        proc._send(0, TidRequest(proc.node))

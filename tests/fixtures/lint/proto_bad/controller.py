@@ -1,0 +1,21 @@
+"""Loaded as ``repro.directory.controller``: handles LoadRequest, but
+also *constructs* one — the directory is not a declared LoadRequest
+emitter (proto-emission), and the send is not retry-wrapped
+(proto-retry-wrap)."""
+
+from repro.core.messages import LoadRequest
+
+
+class DirectoryController:
+    def _serve(self, msg):
+        dispatch = {LoadRequest: self._handle_load}
+        dispatch[type(msg)](msg)
+
+    def _handle_load(self, msg):
+        return msg.requester
+
+    def _forward(self, line):
+        self._send(0, LoadRequest(self.node))
+
+    def _send(self, dst, msg):
+        pass

@@ -1,0 +1,18 @@
+"""Loaded as ``repro.processor.core``: legitimate LoadRequest emitter,
+retry-wrapped (keeps the bad tree's LoadRequest dispatch count at
+exactly one so only the intended violations fire)."""
+
+from repro.core.messages import LoadRequest
+
+
+class Processor:
+    def issue_load(self, line):
+        msg = LoadRequest(self.node)
+        self._send(0, msg)
+        self._retry(lambda: self._send(0, msg), lambda: True)
+
+    def _send(self, dst, msg):
+        pass
+
+    def _retry(self, resend, done):
+        pass

@@ -1,0 +1,20 @@
+"""Same mini message set as proto_good — the violations live in the
+handler/emitter modules."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class LoadRequest:
+    requester: int
+
+    payload_bytes = 8
+    traffic_class = "miss"
+
+
+@dataclass(slots=True)
+class TidRequest:
+    requester: int
+
+    payload_bytes = 4
+    traffic_class = "overhead"

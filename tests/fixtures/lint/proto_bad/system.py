@@ -1,0 +1,10 @@
+"""Loaded as ``repro.core.system``: the router never dispatches
+TidRequest, so the message type has no handler
+(proto-handler-coverage)."""
+
+
+def make_router(vendor):
+    def route(msg):
+        return vendor
+
+    return route

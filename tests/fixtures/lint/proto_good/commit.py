@@ -1,0 +1,14 @@
+"""Loaded as ``repro.processor.commit``: emits TidRequest (its declared
+emitter) under a retry wrapper."""
+
+from repro.core.messages import TidRequest
+
+
+class CommitEngine:
+    def acquire_tid(self, proc):
+        msg = TidRequest(proc.node)
+        proc._send(0, msg)
+        self._retry(lambda: proc._send(0, msg), lambda: True)
+
+    def _retry(self, resend, done):
+        pass

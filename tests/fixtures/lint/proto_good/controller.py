@@ -1,0 +1,13 @@
+"""Loaded as ``repro.directory.controller``: the declared LoadRequest
+handler, and nothing but handling."""
+
+from repro.core.messages import LoadRequest
+
+
+class DirectoryController:
+    def _serve(self, msg):
+        dispatch = {LoadRequest: self._handle_load}
+        dispatch[type(msg)](msg)
+
+    def _handle_load(self, msg):
+        return msg.requester

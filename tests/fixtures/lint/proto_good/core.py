@@ -1,0 +1,17 @@
+"""Loaded as ``repro.processor.core``: emits LoadRequest (its declared
+emitter) under a retry wrapper."""
+
+from repro.core.messages import LoadRequest
+
+
+class Processor:
+    def issue_load(self, line):
+        msg = LoadRequest(self.node)
+        self._send(0, msg)
+        self._retry(lambda: self._send(0, msg), lambda: True)
+
+    def _send(self, dst, msg):
+        pass
+
+    def _retry(self, resend, done):
+        pass

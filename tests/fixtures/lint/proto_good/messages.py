@@ -1,0 +1,21 @@
+"""Mini message set for the protocol-rule fixtures (loaded as
+``repro.core.messages``): two real message names from the protocol
+table, so the extraction runs exactly as it does on the real tree."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class LoadRequest:
+    requester: int
+
+    payload_bytes = 8
+    traffic_class = "miss"
+
+
+@dataclass(slots=True)
+class TidRequest:
+    requester: int
+
+    payload_bytes = 4
+    traffic_class = "overhead"

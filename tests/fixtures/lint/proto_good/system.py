@@ -1,0 +1,13 @@
+"""Loaded as ``repro.core.system``: the TID vendor answers TidRequest
+inline in the node router."""
+
+from repro.core.messages import TidRequest
+
+
+def make_router(vendor):
+    def route(msg):
+        if isinstance(msg, TidRequest):
+            return vendor
+        return None
+
+    return route

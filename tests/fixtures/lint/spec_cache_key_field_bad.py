@@ -1,0 +1,12 @@
+"""Positive fixture: a cache-keyed dataclass with a set-typed field."""
+
+from dataclasses import dataclass
+from typing import Set
+
+
+@dataclass(frozen=True)
+class Spec:
+    nodes: Set[int]
+
+    def key(self):
+        return str(self.nodes)

@@ -1,0 +1,13 @@
+"""Negative fixture: canonically serializable cache-key fields."""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Spec:
+    nodes: Tuple[int, ...]
+    args: Optional[Dict[str, int]] = None
+
+    def key(self):
+        return str((self.nodes, self.args))

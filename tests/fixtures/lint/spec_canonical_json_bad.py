@@ -1,0 +1,8 @@
+"""Positive fixture: hashed JSON without sort_keys."""
+
+import hashlib
+import json
+
+
+def key(payload):
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

@@ -1,0 +1,9 @@
+"""Negative fixture: canonical serialization feeding the hash."""
+
+import hashlib
+import json
+
+
+def key(payload):
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()

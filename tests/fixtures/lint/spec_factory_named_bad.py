@@ -1,0 +1,10 @@
+"""Positive fixture: a lambda registered as a workload factory."""
+
+WORKLOAD_FACTORIES = {}
+
+
+def register_workload(name, factory):
+    WORKLOAD_FACTORIES[name] = factory
+
+
+register_workload("hot", lambda config: object())

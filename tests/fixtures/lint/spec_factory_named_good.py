@@ -1,0 +1,14 @@
+"""Negative fixture: a named module-level factory."""
+
+WORKLOAD_FACTORIES = {}
+
+
+def register_workload(name, factory):
+    WORKLOAD_FACTORIES[name] = factory
+
+
+def make_hot(config):
+    return object()
+
+
+register_workload("hot", make_hot)

@@ -49,6 +49,28 @@ def test_small_campaign_passes_clean():
     assert "zero hangs" in text
 
 
+def test_paranoid_mode_is_threaded_and_bit_inert():
+    """``chaos --quick`` runs with paranoid invariant checking; the
+    checks are passive, so the simulated outcome must be bit-identical
+    to the plain run of the same seed."""
+    plain_case = make_case(7)
+    paranoid_case = make_case(7, paranoid=True)
+    assert not plain_case.build_config().paranoid
+    assert paranoid_case.build_config().paranoid
+    plain = run_case(plain_case)
+    paranoid = run_case(paranoid_case)
+    assert paranoid.ok, paranoid.detail
+    assert (plain.cycles, plain.committed, plain.violations) == (
+        paranoid.cycles, paranoid.committed, paranoid.violations
+    )
+
+
+def test_campaign_paranoid_flag_reaches_workers():
+    report = run_chaos(cases=3, seed0=500, paranoid=True)
+    assert report["failed"] == 0, report["failures"]
+    assert report["passed"] == 3
+
+
 def test_failed_expectation_is_reported_not_raised():
     case = dataclasses.replace(make_case(0), expected_commits=99_999)
     outcome = run_case(case)

@@ -1,0 +1,108 @@
+"""Regression guard: the declared protocol table and the source stay in
+lock-step.
+
+An added message type in ``core/messages.py`` cannot land without (a) a
+``PROTOCOL_TABLE`` entry and (b) exactly one implemented dispatch site
+in the declared handler module — and vice versa, a table entry cannot
+outlive its message type.  Each assertion names the orphan so the
+failure is actionable without re-running the linter.
+"""
+
+from repro.lint.loader import load_tree
+from repro.lint.protocol_table import (
+    HANDLER_MODULES,
+    PROTOCOL_TABLE,
+    MessageContract,
+)
+from repro.lint.rules.protocol import (
+    extract_emissions,
+    extract_handlers,
+    message_types,
+)
+from repro.lint.runner import default_root
+
+
+def _modules():
+    return load_tree(default_root())
+
+
+def test_every_message_type_is_declared_in_the_table():
+    types = message_types(_modules())
+    assert types, "no message types found in core/messages.py"
+    for name in sorted(types):
+        assert name in PROTOCOL_TABLE, (
+            f"orphan message type {name!r}: defined in core/messages.py "
+            "but not declared in PROTOCOL_TABLE "
+            "(src/repro/lint/protocol_table.py)"
+        )
+
+
+def test_every_table_entry_has_a_message_type():
+    types = message_types(_modules())
+    for name in sorted(PROTOCOL_TABLE):
+        assert name in types, (
+            f"stale table entry {name!r}: declared in PROTOCOL_TABLE but "
+            "core/messages.py defines no such message type"
+        )
+
+
+def test_every_message_type_has_exactly_one_handler():
+    modules = _modules()
+    types = message_types(modules)
+    by_message = {}
+    for site in extract_handlers(modules):
+        by_message.setdefault(site.message, []).append(site)
+    for name in sorted(types):
+        sites = by_message.get(name, [])
+        assert len(sites) == 1, (
+            f"message type {name!r} must have exactly one dispatch site, "
+            f"found {[(s.module, s.function, s.line) for s in sites]}"
+        )
+        declared = PROTOCOL_TABLE[name].handler
+        assert sites[0].module == declared, (
+            f"message type {name!r} is dispatched in {sites[0].module} "
+            f"but PROTOCOL_TABLE declares {declared}"
+        )
+
+
+def test_every_emission_site_is_a_declared_emitter():
+    modules = _modules()
+    for site in extract_emissions(modules):
+        contract = PROTOCOL_TABLE.get(site.message)
+        assert contract is not None
+        assert site.module in contract.emitters, (
+            f"{site.message} constructed in {site.module}:{site.line} "
+            f"({site.function}); declared emitters: {contract.emitters}"
+        )
+
+
+def test_commit_critical_requests_cover_the_commit_protocol():
+    # The forward-progress argument of the hardened protocol (PR 2)
+    # rests on these exact request types being timeout-retried; shrink
+    # this set only with a matching change to the retry machinery.
+    critical = {
+        name for name, contract in PROTOCOL_TABLE.items()
+        if contract.commit_critical
+    }
+    assert critical == {
+        "LoadRequest", "TidRequest", "SkipMsg", "ProbeRequest",
+        "MarkMsg", "CommitMsg", "AbortMsg",
+    }
+
+
+def test_handler_modules_exist_in_the_tree():
+    modules = _modules()
+    for module_name in HANDLER_MODULES:
+        assert module_name in modules, (
+            f"PROTOCOL_TABLE references handler module {module_name!r} "
+            "which does not exist"
+        )
+
+
+def test_table_entries_are_well_formed():
+    for name, contract in PROTOCOL_TABLE.items():
+        assert isinstance(contract, MessageContract)
+        assert contract.handler in HANDLER_MODULES, name
+        assert contract.emitters, f"{name} has no declared emitters"
+        for emitter in contract.emitters:
+            assert emitter in HANDLER_MODULES, (name, emitter)
