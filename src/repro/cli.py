@@ -11,6 +11,7 @@ Usage (also ``python -m repro <command>``):
     python -m repro sweep barnes --grid link_latency=1,3,8 --jobs 4
     python -m repro chaos --quick
     python -m repro chaos --cases 200 --jobs 4 --no-cache
+    python -m repro conform --cases 500 --seed 0 [--faults] [--jobs 4]
     python -m repro lint [--format json] [--baseline FILE]
 
 Multi-run commands (``sweep``, ``chaos``, ``perf``) fan their
@@ -300,6 +301,35 @@ def cmd_chaos(args) -> int:
     return 0 if report["failed"] == 0 else 1
 
 
+def cmd_conform(args) -> int:
+    from repro.conform.harness import format_report, run_conform
+
+    cases = 25 if args.quick else args.cases
+    if cases < 1:
+        raise SystemExit("conform: --cases must be >= 1")
+
+    def progress(outcome):
+        if args.verbose or not outcome.ok:
+            marker = "ok  " if outcome.ok else "FAIL"
+            print(f"  {marker} seed={outcome.seed} "
+                  f"{outcome.n_processors}p/{outcome.transactions}tx "
+                  f"{outcome.outcome} cycles={outcome.cycles}")
+
+    report = run_conform(
+        cases=cases, seed0=args.seed0, faults=args.faults,
+        progress=progress, jobs=args.jobs, cache=_cache_from(args),
+        shrink=not args.no_shrink, save_dir=args.save_failures,
+    )
+    print(format_report(report))
+    if args.out:
+        import json
+
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.out}")
+    return 0 if report["failed"] == 0 else 1
+
+
 def cmd_lint(args) -> int:
     from repro.lint import Baseline, run_lint
     from repro.lint.report import format_json, format_text
@@ -454,6 +484,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: summary + failures only)")
     _add_runner_args(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "conform",
+        help="differential conformance campaign: seeded random programs "
+             "run on the full machine and diffed against the reference "
+             "oracle (commit order, read witnesses, final memory)",
+    )
+    p.add_argument("--cases", type=int, default=200,
+                   help="number of seeded cases to run (default 200)")
+    p.add_argument("--seed", dest="seed0", type=int, default=0,
+                   help="first case seed (case i uses seed+i)")
+    p.add_argument("--faults", action="store_true",
+                   help="compose each case with a seeded fault plan "
+                        "(drops/dups/delays/reorders + node outages)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: 25 cases")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every case, not just failures")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip counterexample shrinking on failure")
+    p.add_argument("--save-failures", metavar="DIR",
+                   default="conform_failures",
+                   help="write shrunk counterexample files here "
+                        "(default conform_failures/)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the JSON campaign report to FILE "
+                        "(e.g. CONFORM_report.json)")
+    _add_runner_args(p)
+    p.set_defaults(func=cmd_conform)
 
     p = sub.add_parser(
         "lint",

@@ -1,0 +1,78 @@
+"""Replayable counterexample files.
+
+Any case the harness fails on is shrunk and written out as a small JSON
+file pinning the *explicit* program (not the seed — shrinking takes the
+case out of the generator's image), the config overrides, and the fault
+plan, plus the mismatch it reproduced at save time.  Files checked into
+``tests/fixtures/conform/`` become permanent regression tests: the
+loader replays every one through both machines forever.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.conform.differ import ConformCaseResult, run_conform_case
+from repro.conform.generator import ConformCase
+
+FORMAT = "repro-conform-counterexample/1"
+
+
+def counterexample_dict(case: ConformCase,
+                        result: ConformCaseResult) -> Dict[str, Any]:
+    return {
+        "format": FORMAT,
+        "case": case.to_dict(),
+        "failure": {
+            "outcome": result.outcome,
+            "detail": result.detail,
+            "mismatches": list(result.mismatches),
+        },
+    }
+
+
+def save_counterexample(case: ConformCase, result: ConformCaseResult,
+                        path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write one counterexample file; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(counterexample_dict(case, result), indent=2,
+                   sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_counterexample(
+    path: Union[str, pathlib.Path],
+) -> Tuple[ConformCase, Dict[str, Any]]:
+    """Read one file back: (case, recorded-failure metadata)."""
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"{path}: not a conform counterexample "
+            f"(format {data.get('format')!r}, expected {FORMAT!r})"
+        )
+    return ConformCase.from_dict(data["case"]), data.get("failure", {})
+
+
+def iter_counterexamples(
+    directory: Union[str, pathlib.Path],
+) -> Iterable[Tuple[pathlib.Path, ConformCase, Dict[str, Any]]]:
+    """All counterexample files under ``directory``, sorted by name."""
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        return
+    for path in sorted(root.glob("*.json")):
+        case, failure = load_counterexample(path)
+        yield path, case, failure
+
+
+def replay_counterexample(
+    path: Union[str, pathlib.Path],
+) -> ConformCaseResult:
+    """Re-run one counterexample through both machines."""
+    case, _ = load_counterexample(path)
+    return run_conform_case(case)

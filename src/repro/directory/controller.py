@@ -90,6 +90,7 @@ class DirectoryStats:
     invalidations_sent: int = 0
     writebacks_accepted: int = 0
     writebacks_dropped: int = 0
+    writebacks_merged: int = 0  # late write-backs salvaged word-by-word
     skips_processed: int = 0
     occupancy_samples: List[int] = field(default_factory=list)
     busy_cycles: int = 0
@@ -181,6 +182,14 @@ class DirectoryController:
         #: tid -> highest attempt that has marked here: a retried abort
         #: from an older attempt must not clear the newer attempt's marks.
         self._mark_attempt: Dict[int, int] = {}
+        #: line -> word -> (tid, committer) of the last write-back commit
+        #: that marked the word: the architectural version of every word.
+        self._word_committer: Dict[int, Dict[int, tuple]] = {}
+        #: line -> words whose latest committed value has not yet reached
+        #: home memory (it still rides a write-back or an InvAck).  While
+        #: non-empty, serving the line from memory would hand out a stale
+        #: word, so loads park in ``_pending_forwards`` instead.
+        self._awaiting: Dict[int, set] = {}
         self.fault_injector: Optional[Any] = None
         self.fault_stats: Optional[Any] = None
 
@@ -297,6 +306,15 @@ class DirectoryController:
                 self._flush_requested.add(msg.line)
                 self._send(entry.owner, FlushRequest(self.node, msg.line))
             return
+        if self._hardened and self._awaiting.get(msg.line):
+            # Unowned, but a committed word's only copy is still in
+            # flight (a delayed write-back or InvAck ride); serving now
+            # would hand out a stale word.  Drops of data-carrying
+            # messages are downgraded to delays, so the words are
+            # guaranteed to land and release these waiters.
+            self._pending_forwards[msg.line].append(msg)
+            self.stats.loads_forwarded += 1
+            return
         self._serve_load_from_memory(entry, msg)
 
     def _serve_load_from_memory(self, entry, msg: LoadRequest) -> None:
@@ -318,23 +336,15 @@ class DirectoryController:
             and msg.tid >= entry.tid_tag
         )
         if not acceptable:
+            if self._hardened:
+                self._merge_late_writeback(entry, msg)
+                return
             # Stale or unexpected write-back: the TID-tag race rule.
             self.stats.writebacks_dropped += 1
             if self.event_log is not None:
                 self.event_log.log(self.engine.now, "writeback", self.node,
                                    line=msg.line, writer=msg.writer,
                                    accepted=False)
-            if (
-                self._hardened
-                and entry.owned
-                and self._pending_forwards.get(msg.line)
-            ):
-                # The write-back meant to satisfy these forwards was
-                # overtaken by the owner's next commit of the same line
-                # and discarded as stale; recall the line again from the
-                # current owner or the forwards wedge forever.
-                self._count_stale()
-                self._send(entry.owner, FlushRequest(self.node, msg.line))
             return
         self.memory.write_words(msg.line, msg.words)
         self.stats.writebacks_accepted += 1
@@ -346,7 +356,84 @@ class DirectoryController:
         if msg.remove:
             entry.sharers.discard(msg.writer)
         self._flush_requested.discard(msg.line)
+        if self._hardened:
+            self._clear_awaiting(msg.line, msg.words, msg.writer, msg.tid)
+            self._service_forwards(msg.line)
+            return
         waiters = self._pending_forwards.pop(msg.line, [])
+        for load in waiters:
+            self._handle_load(load)
+
+    def _merge_late_writeback(self, entry, msg: WriteBackMsg) -> None:
+        """Salvage a write-back the TID-tag rule would drop.
+
+        On an unreliable fabric a flush can arrive *after* a later
+        commit already transferred the line's ownership; dropping it
+        whole loses the only copy of every word that newer commit did
+        not overwrite.  A word is still fresh exactly when its writer is
+        the committer of its current architectural version and the
+        write-back's tag covers that version — a stale flush from a
+        processor that merely read the word (and was invalidated after
+        sending) never passes, whatever its tag says.
+        """
+        versions = self._word_committer.get(msg.line, {})
+        fresh = {}
+        for word, value in msg.words.items():
+            ver = versions.get(word)
+            if ver is None or (ver[1] == msg.writer and msg.tid >= ver[0]):
+                fresh[word] = value
+        if not fresh:
+            self.stats.writebacks_dropped += 1
+            self._count_stale()
+            if self.event_log is not None:
+                self.event_log.log(self.engine.now, "writeback", self.node,
+                                   line=msg.line, writer=msg.writer,
+                                   accepted=False)
+        else:
+            self.memory.write_words(msg.line, fresh)
+            self.stats.writebacks_merged += 1
+            if self.event_log is not None:
+                self.event_log.log(self.engine.now, "writeback", self.node,
+                                   line=msg.line, writer=msg.writer,
+                                   accepted=True, merged=len(fresh))
+            # Ownership and sharers stay untouched: the writer is not
+            # (or no longer) the registered owner, and a duplicated
+            # eviction must not unregister a re-sharing processor.
+            self._clear_awaiting(msg.line, fresh, msg.writer, msg.tid)
+            self._service_forwards(msg.line)
+        if entry.owned and self._pending_forwards.get(msg.line):
+            # The write-back meant to satisfy these forwards was
+            # overtaken by the owner's next commit of the same line;
+            # recall the line again from the current owner or the
+            # forwards wedge forever.
+            self._send(entry.owner, FlushRequest(self.node, msg.line))
+
+    def _clear_awaiting(self, line: int, words: Dict[int, int],
+                        writer: int, tid: int) -> None:
+        """Mark words whose committed value just reached memory."""
+        waiting = self._awaiting.get(line)
+        if not waiting:
+            return
+        versions = self._word_committer.get(line, {})
+        for word in list(waiting):
+            if word not in words:
+                continue
+            ver = versions.get(word)
+            if ver is None or (ver[1] == writer and tid >= ver[0]):
+                waiting.discard(word)
+        if not waiting:
+            del self._awaiting[line]
+
+    def _service_forwards(self, line: int) -> None:
+        """Re-dispatch parked loads once memory holds the whole line."""
+        if not self._pending_forwards.get(line):
+            return
+        if self._awaiting.get(line):
+            return
+        entry = self.state.entry(line)
+        if entry.owned:
+            return  # a recall to the owner is in progress
+        waiters = self._pending_forwards.pop(line, [])
         for load in waiters:
             self._handle_load(load)
 
@@ -536,6 +623,12 @@ class DirectoryController:
             entry = self.state.entry(msg.line)
             if entry.owner == msg.sharer:
                 entry.release_ownership()
+                if self._hardened:
+                    self._flush_requested.discard(msg.line)
+            if self._hardened:
+                self._clear_awaiting(
+                    msg.line, msg.wb_words, msg.sharer, msg.wb_tid
+                )
         ctx.pending.discard(key)
         if not ctx.pending:
             self._finish_commit()
@@ -569,11 +662,24 @@ class DirectoryController:
                 entry.owner = None
                 entry.clear_mark()
             else:
+                if self._hardened:
+                    self._note_commit_words(
+                        entry.line, entry.marked_words, ctx.tid, ctx.committer
+                    )
                 entry.commit_to(
                     ctx.committer,
                     ctx.tid,
                     keep_sharers=self.config.granularity == "word",
                 )
+                if self._hardened and self._pending_forwards.get(entry.line):
+                    # Loads were parked on a recall to the *previous*
+                    # owner, whose data rode home on the InvAcks instead
+                    # of answering the flush; re-recall from the new
+                    # owner or the forwards wedge forever.
+                    self._flush_requested.add(entry.line)
+                    self._send(
+                        ctx.committer, FlushRequest(self.node, entry.line)
+                    )
         self.stats.commits_served += 1
         self.stats.occupancy_samples.append(self.engine.now - ctx.started_at)
         if self.event_log is not None:
@@ -584,6 +690,24 @@ class DirectoryController:
         self._active_commit = None
         self.skipvec.complete_current()
         self._after_advance()
+
+    def _note_commit_words(self, line: int, word_mask: int,
+                           tid: int, committer: int) -> None:
+        """Record the new architectural version of every committed word.
+
+        Write-back commit: the data stays in the committer's cache, so
+        each word joins ``_awaiting`` until a write-back (or InvAck
+        ride) from its committer lands it in home memory.
+        """
+        versions = self._word_committer.setdefault(line, {})
+        waiting = self._awaiting.setdefault(line, set())
+        word = 0
+        while word_mask:
+            if word_mask & 1:
+                versions[word] = (tid, committer)
+                waiting.add(word)
+            word_mask >>= 1
+            word += 1
 
     def _handle_abort(self, msg: AbortMsg) -> None:
         ctx = self._active_commit
@@ -682,5 +806,8 @@ class DirectoryController:
         forwards = sum(len(v) for v in self._pending_forwards.values())
         if forwards:
             problems.append(f"{forwards} pending forwards")
+        awaiting = sum(len(v) for v in self._awaiting.values())
+        if awaiting:
+            problems.append(f"{awaiting} committed words not yet home")
         if problems:
             raise ProtocolError(f"dir {self.node} not quiescent: {', '.join(problems)}")

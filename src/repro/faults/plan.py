@@ -149,6 +149,31 @@ class FaultPlan:
             if f.kind == kind and f.node == node
         )
 
+    def as_dict(self) -> dict:
+        """JSON-able form (counterexample files pin plans explicitly)."""
+        from dataclasses import asdict
+
+        return {
+            "packet_faults": [asdict(f) for f in self.packet_faults],
+            "node_faults": [asdict(f) for f in self.node_faults],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            packet_faults=tuple(
+                PacketFault(**{**f, "traffic_classes": tuple(f.get("traffic_classes", ())),
+                               "src_nodes": tuple(f.get("src_nodes", ())),
+                               "dst_nodes": tuple(f.get("dst_nodes", ()))})
+                for f in data.get("packet_faults", ())
+            ),
+            node_faults=tuple(
+                NodeFault(**f) for f in data.get("node_faults", ())
+            ),
+            seed=data.get("seed", 0),
+        )
+
     def describe(self) -> str:
         """One line per rule, for chaos-harness reports."""
         lines = []

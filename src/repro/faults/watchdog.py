@@ -63,6 +63,9 @@ def _snapshot(system: Any) -> Dict[str, Any]:
             "pending_forwards": sum(
                 len(v) for v in directory._pending_forwards.values()
             ),
+            "awaiting_words": sum(
+                len(v) for v in directory._awaiting.values()
+            ),
         })
     report: Dict[str, Any] = {
         "cycle": system.engine.now,
@@ -96,12 +99,14 @@ def format_stall_report(report: Dict[str, Any]) -> str:
             and not d["pending_probes"]
             and not d["stalled_loads"]
             and not d["pending_forwards"]
+            and not d["awaiting_words"]
         ):
             continue
         lines.append(
             f"  dir {d['node']}: nstid={d['nstid']} "
             f"active={d['active_commit_tid']} probes={d['pending_probes']} "
-            f"stalled={d['stalled_loads']} forwards={d['pending_forwards']}"
+            f"stalled={d['stalled_loads']} forwards={d['pending_forwards']} "
+            f"awaiting={d['awaiting_words']}"
         )
     if report["vendor_outstanding"]:
         lines.append(f"  vendor outstanding: {report['vendor_outstanding']}")

@@ -1,0 +1,26 @@
+"""Independent reference TM machine for differential conformance testing.
+
+See :mod:`repro.oracle.machine` for the machine itself and
+:mod:`repro.conform` for the harness that diffs it against the full
+simulator.
+"""
+
+from repro.oracle.machine import (
+    CommitWitness,
+    OracleCommit,
+    OracleResult,
+    OracleTx,
+    OracleViolation,
+    ReferenceTM,
+    program_from_schedules,
+)
+
+__all__ = [
+    "CommitWitness",
+    "OracleCommit",
+    "OracleResult",
+    "OracleTx",
+    "OracleViolation",
+    "ReferenceTM",
+    "program_from_schedules",
+]

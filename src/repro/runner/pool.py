@@ -58,6 +58,14 @@ def execute_job(spec: JobSpec) -> Dict[str, Any]:
 
         case = make_case(spec.seed, **(spec.workload_args or {}))
         return {"case": run_case(case).as_dict()}
+    if spec.kind == "conform":
+        # Same lazy-import rule as chaos: repro.conform imports
+        # repro.core.system and must stay out of import cycles.
+        from repro.conform.differ import run_conform_case
+        from repro.conform.generator import make_case as make_conform_case
+
+        case = make_conform_case(spec.seed, **(spec.workload_args or {}))
+        return {"case": run_conform_case(case).as_dict()}
     if spec.kind == "perf":
         return _execute_perf(spec)
     raise ValueError(f"unknown job kind {spec.kind!r}")

@@ -20,6 +20,11 @@ Three job kinds exist:
 ``perf``
     ``warmup`` untimed + ``repeats`` timed passes of one application in
     one worker.  Never cached — the payload *is* a wall-clock sample.
+``conform``
+    One seeded differential-conformance case
+    (``run_conform_case(make_case(seed, **args))``); the seed plus the
+    ``faults`` flag in ``workload_args`` determine program, machine,
+    and fault plan.  Cacheable (payloads carry no wall-clock fields).
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ from repro.workloads.tm_patterns import (
     QueueWorkload,
 )
 
-JOB_KINDS = ("sim", "chaos", "perf")
+JOB_KINDS = ("sim", "chaos", "perf", "conform")
 
 #: name -> factory(config, **args) -> Workload.  Factories take the
 #: effective config first so they can match line/word geometry.
@@ -86,11 +91,20 @@ def make_matrix_tile_workload(config: SystemConfig, **kw: Any) -> Workload:
     return MatrixTileWorkload(**kw)
 
 
+def make_conform_workload(config: SystemConfig, seed: int = 0) -> Workload:
+    """The conformance generator's program for ``seed``, as a plain
+    workload (lazy import: repro.conform imports repro.core.system)."""
+    from repro.conform.generator import generate_program
+
+    return generate_program(seed).to_workload()
+
+
 register_workload("app", make_app_workload)
 register_workload("counter", make_counter_workload)
 register_workload("list-set", make_list_set_workload)
 register_workload("queue", make_queue_workload)
 register_workload("matrix-tile", make_matrix_tile_workload)
+register_workload("conform", make_conform_workload)
 
 
 @dataclass(frozen=True)
@@ -118,8 +132,8 @@ class JobSpec:
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(f"job kind must be one of {JOB_KINDS}, got {self.kind!r}")
-        if self.kind == "chaos" and self.seed is None:
-            raise ValueError("chaos jobs need a seed")
+        if self.kind in ("chaos", "conform") and self.seed is None:
+            raise ValueError(f"{self.kind} jobs need a seed")
         if self.kind in ("sim", "perf") and not self.workload:
             raise ValueError(f"{self.kind} jobs need a workload name")
 
@@ -146,7 +160,7 @@ class JobSpec:
     def describe(self) -> str:
         if self.label:
             return self.label
-        if self.kind == "chaos":
-            return f"chaos seed={self.seed}"
+        if self.kind in ("chaos", "conform"):
+            return f"{self.kind} seed={self.seed}"
         n = self.config.n_processors if self.config else "?"
         return f"{self.kind} {self.workload}@{n}"

@@ -118,6 +118,46 @@ def test_chaos_rejects_bad_case_count(capsys):
         main(["chaos", "--cases", "0"])
 
 
+def test_conform_small_campaign(capsys):
+    code, out = run_cli(capsys, "conform", "--cases", "3", "--seed", "100")
+    assert code == 0
+    assert "3/3 passed" in out
+    assert "fault-free" in out
+    assert "oracle agreement" in out
+    assert "fingerprint:" in out
+
+
+def test_conform_faults_mode(capsys):
+    code, out = run_cli(capsys, "conform", "--cases", "2", "--faults")
+    assert code == 0
+    assert "2/2 passed" in out
+    assert "(faults," in out
+
+
+def test_conform_verbose_lists_cases(capsys):
+    code, out = run_cli(capsys, "conform", "--cases", "2", "--verbose")
+    assert code == 0
+    assert out.count("ok   seed=") == 2
+
+
+def test_conform_writes_json_report(capsys, tmp_path):
+    out_file = tmp_path / "conform.json"
+    code, out = run_cli(capsys, "conform", "--cases", "2",
+                        "--out", str(out_file))
+    assert code == 0
+    import json
+
+    report = json.loads(out_file.read_text())
+    assert report["cases"] == 2
+    assert report["failed"] == 0
+    assert len(report["fingerprint"]) == 64
+
+
+def test_conform_rejects_bad_case_count(capsys):
+    with pytest.raises(SystemExit, match="cases"):
+        main(["conform", "--cases", "0"])
+
+
 def test_bad_config_exits_nonzero_with_one_line_error(capsys):
     code = main(["run", "barnes", "-n", "-3"])
     captured = capsys.readouterr()

@@ -1,0 +1,49 @@
+"""Regression loader: replay every checked-in conformance counterexample.
+
+Any file under ``tests/fixtures/conform/`` — shrunk reproducers of
+once-failing cases, plus hand-pinned sentinel programs — is replayed
+through both the full simulator and the reference oracle on every run.
+A case that ever regresses fails here with the file path and the
+original recorded failure for context.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.conform import (
+    iter_counterexamples,
+    load_counterexample,
+    run_conform_case,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "conform"
+
+
+def fixture_paths():
+    return sorted(FIXTURES.glob("*.json"))
+
+
+def test_fixture_directory_is_populated():
+    # The loader must never silently become a no-op because the
+    # directory moved or the glob broke.
+    assert fixture_paths(), f"no counterexample files under {FIXTURES}"
+
+
+def test_iter_counterexamples_covers_every_file():
+    listed = [path for path, _, _ in iter_counterexamples(FIXTURES)]
+    assert listed == fixture_paths()
+
+
+@pytest.mark.parametrize("path", fixture_paths(),
+                         ids=lambda p: p.stem)
+def test_replay_conforms(path):
+    case, recorded = load_counterexample(path)
+    case.program.validate()
+    result = run_conform_case(case)
+    assert result.ok, (
+        f"{path.name}: {case.describe()} diverged again — "
+        f"{result.outcome} ({result.detail}); originally recorded "
+        f"failure: {recorded.get('outcome')} ({recorded.get('detail')})"
+    )
+    assert result.committed == case.program.tx_count

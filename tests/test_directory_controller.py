@@ -488,14 +488,57 @@ def test_stale_inv_ack_ride_salvaged_through_writeback_rule(hrig):
 
 
 def test_stale_inv_ack_ride_with_stale_tid_still_dropped(hrig):
-    """The salvage path must not bypass the TID-tag rule: ridden data
-    older than the line's last commit stays dropped."""
+    """The salvage path must not bypass the version rule: ridden data
+    from a writer that is not the committer of the word's current
+    version stays dropped, whatever its tag says."""
     hrig.memory.write_line(7, [1] * 8)
     entry = hrig.dir.state.entry(7)
     entry.owner = 1
     entry.tid_tag = 5
+    # Word 0's architectural version: committed at TID 5 by node 2.
+    hrig.dir._word_committer[7] = {0: (5, 2)}
     hrig.send(1, m.InvAck(sharer=1, line=7, tid=3, wb_words={0: 99}, wb_tid=4))
     hrig.run()
     assert hrig.memory.read_line(7)[0] == 1
     assert hrig.dir.state.entry(7).owner == 1
     assert hrig.dir.stats.writebacks_dropped == 1
+
+
+def test_late_writeback_from_words_committer_is_merged(hrig):
+    """A flush overtaken by a later commit of the same line must not lose
+    the words that later commit did not overwrite: the previous
+    committer's words merge into memory word-by-word."""
+    hrig.memory.write_line(7, [0] * 8)
+    entry = hrig.dir.state.entry(7)
+    # Node 2 committed word 6 at TID 1, then node 1 committed word 3 at
+    # TID 2 and took ownership before node 2's flush arrived.
+    hrig.dir._note_commit_words(7, 0b1000000, 1, 2)
+    hrig.dir._note_commit_words(7, 0b0001000, 2, 1)
+    entry.owner = 1
+    entry.tid_tag = 2
+    hrig.send(
+        1, m.WriteBackMsg(writer=2, line=7, words={6: 41}, tid=1, remove=False)
+    )
+    hrig.run()
+    assert hrig.memory.read_line(7)[6] == 41
+    assert hrig.dir.stats.writebacks_merged == 1
+    assert hrig.dir.state.entry(7).owner == 1  # ownership untouched
+    assert hrig.dir._awaiting[7] == {3}  # word 3 still rides with node 1
+
+
+def test_load_of_unowned_line_waits_for_inflight_committed_word(hrig):
+    """After ownership is released, a load must not be served from
+    memory while a committed word's only copy is still in flight."""
+    hrig.memory.write_line(7, [0] * 8)
+    # Node 1 committed word 6 at TID 1; its flush has not arrived yet.
+    hrig.dir._note_commit_words(7, 0b1000000, 1, 1)
+    hrig.send(2, m.LoadRequest(requester=2, line=7, seq=1))
+    hrig.run()
+    assert hrig.of_type(2, m.LoadReply) == []
+    hrig.send(
+        1, m.WriteBackMsg(writer=1, line=7, words={6: 17}, tid=1, remove=False)
+    )
+    hrig.run()
+    replies = hrig.of_type(2, m.LoadReply)
+    assert len(replies) == 1
+    assert replies[0].data[6] == 17

@@ -4,13 +4,27 @@ The network jitter seed perturbs every message's delivery time, so
 sweeping seeds explores a broad space of protocol interleavings —
 deterministic per seed, hence reproducible on failure.  Every run is
 serializability-checked, invariant-checked, and counter-exact.
+
+The second half is the differential property suite: seeded random
+programs (and schedule perturbations of them — same program, different
+machine seed and jitter) cross-checked against the independent oracle
+in :mod:`repro.oracle`.  A failing property shrinks its case to a
+minimal reproducer and writes it under ``tests/fixtures/conform/``,
+where the regression loader (``test_conform_regressions.py``) replays
+it forever.  See docs/TESTING.md for the triage workflow.
 """
+
+import dataclasses
+import pathlib
 
 import pytest
 
 from repro import ScalableTCCSystem, SystemConfig, Transaction
+from repro.conform import make_case, run_conform_case, save_counterexample, shrink_case
 from repro.workloads.base import Workload
 from repro.workloads.tm_patterns import ListSetWorkload, QueueWorkload
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "conform"
 
 
 class Scripted(Workload):
@@ -76,3 +90,74 @@ def test_retention_under_jitter(seed):
         Scripted(hot_counter_schedules(4, 5)), max_cycles=100_000_000
     )
     assert result.memory_image[0][0] == 20
+
+
+# ---------------------------------------------------------------------------
+# Differential property suite: random programs vs. the reference oracle.
+# ---------------------------------------------------------------------------
+
+
+def assert_conforms(case, fixture_name):
+    """The property: the full machine agrees with the oracle on commit
+    order, read witnesses, and final memory.  On failure, shrink and
+    save a replayable counterexample before failing the test."""
+    result = run_conform_case(case)
+    if result.ok:
+        assert result.committed == case.program.tx_count
+        return
+    shrunk = shrink_case(case, base=result, max_evals=200)
+    path = save_counterexample(shrunk.case, shrunk.result,
+                               FIXTURES / f"{fixture_name}.json")
+    pytest.fail(
+        f"{case.describe()}: {result.outcome} ({result.detail}); "
+        f"{shrunk.describe()}; counterexample saved to {path} — commit it "
+        f"so test_conform_regressions.py pins the fix"
+    )
+
+
+def perturbed(case, variant):
+    """Same program, different schedule: perturb the machine seed and
+    network jitter so message delivery (hence commit interleaving)
+    changes while the transactional code stays fixed."""
+    overrides = dict(case.config_overrides)
+    overrides["seed"] = case.seed * 1_000 + 7 * variant + 1
+    overrides["network_jitter"] = (overrides.get("network_jitter", 0)
+                                   + variant) % 7
+    return dataclasses.replace(case, config_overrides=overrides)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_programs_conform(seed):
+    assert_conforms(make_case(seed), f"fuzz_seed{seed}_clean")
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_programs_conform_under_faults(seed):
+    assert_conforms(make_case(seed, faults=True), f"fuzz_seed{seed}_faults")
+
+
+@pytest.mark.parametrize("variant", range(1, 4))
+@pytest.mark.parametrize("seed", range(4))
+def test_schedule_perturbations_conform(seed, variant):
+    case = perturbed(make_case(seed), variant)
+    assert_conforms(case, f"fuzz_seed{seed}_v{variant}_clean")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12, 60))
+def test_random_programs_conform_deep(seed):
+    assert_conforms(make_case(seed), f"fuzz_seed{seed}_clean")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(6, 40))
+def test_random_programs_conform_under_faults_deep(seed):
+    assert_conforms(make_case(seed, faults=True), f"fuzz_seed{seed}_faults")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("variant", range(4, 8))
+@pytest.mark.parametrize("seed", range(8))
+def test_schedule_perturbations_conform_deep(seed, variant):
+    case = perturbed(make_case(seed), variant)
+    assert_conforms(case, f"fuzz_seed{seed}_v{variant}_clean")

@@ -1,0 +1,189 @@
+"""Unit tests for the reference TM oracle.
+
+The oracle is the *other* machine in the differential test, so it gets
+its own direct tests: program flattening (indices, barrier epochs),
+every witness-violation kind, serial TID-order execution semantics, and
+the reimplemented address arithmetic.
+"""
+
+import pytest
+
+from repro.oracle import (
+    CommitWitness,
+    OracleViolation,
+    ReferenceTM,
+    program_from_schedules,
+)
+from repro.workloads.base import BARRIER, Transaction
+
+
+def located(schedules):
+    return {tx.tx_id: tx for tx in program_from_schedules(schedules)}
+
+
+class TestProgramFromSchedules:
+    def test_indices_and_epochs(self):
+        txs = located([
+            [Transaction(1, [("c", 1)]), BARRIER, Transaction(2, [("c", 1)])],
+            [BARRIER, Transaction(3, [("c", 1)])],
+        ])
+        assert (txs[1].proc, txs[1].index, txs[1].epoch) == (0, 0, 0)
+        assert (txs[2].proc, txs[2].index, txs[2].epoch) == (0, 1, 1)
+        assert (txs[3].proc, txs[3].index, txs[3].epoch) == (1, 0, 1)
+
+    def test_ops_frozen_as_tuples(self):
+        txs = located([[Transaction(1, [("st", 0, 5), ("ld", 4)])]])
+        assert txs[1].ops == (("st", 0, 5), ("ld", 4))
+
+    def test_duplicate_tx_id_rejected(self):
+        with pytest.raises(ValueError, match="tx_id 7"):
+            program_from_schedules([
+                [Transaction(7, [("c", 1)])],
+                [Transaction(7, [("c", 1)])],
+            ])
+
+    def test_non_transaction_item_rejected(self):
+        with pytest.raises(TypeError, match="neither"):
+            program_from_schedules([["bogus"]])
+
+
+class TestGeometry:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ReferenceTM(line_size=24)
+        with pytest.raises(ValueError, match="power of two"):
+            ReferenceTM(word_size=3)
+        with pytest.raises(ValueError, match="exceed"):
+            ReferenceTM(line_size=4, word_size=8)
+
+    def test_locate_matches_line_word_split(self):
+        tm = ReferenceTM(line_size=32, word_size=4)
+        program = program_from_schedules(
+            [[Transaction(1, [("st", 32 * 3 + 4 * 5, 9), ("ld", 32 * 3 + 4 * 5)])]]
+        )
+        result = tm.execute(program, [CommitWitness(1, 1, 0)])
+        assert result.commits[0].writes == [(3, 5, 9)]
+        assert result.commits[0].reads == [(3, 5, 9)]
+
+
+def simple_program():
+    # P0: st(0)=5 ; ld(0).  P1: add(0)+=2.
+    return program_from_schedules([
+        [Transaction(1, [("st", 0, 5)]), Transaction(2, [("ld", 0)])],
+        [Transaction(3, [("add", 0, 2)])],
+    ])
+
+
+def witness(*triples):
+    return [CommitWitness(tid, tx, proc) for tid, tx, proc in triples]
+
+
+class TestWitnessChecks:
+    def setup_method(self):
+        self.tm = ReferenceTM()
+        self.program = simple_program()
+
+    def violation(self, w):
+        with pytest.raises(OracleViolation) as exc_info:
+            self.tm.check_witness(self.program, w)
+        return exc_info.value.kind
+
+    def test_valid_witness_sorted_by_tid(self):
+        ordered = self.tm.check_witness(
+            self.program, witness((3, 3, 1), (1, 1, 0), (2, 2, 0)))
+        assert [entry.tid for entry in ordered] == [1, 2, 3]
+
+    def test_duplicate_tid(self):
+        kind = self.violation(witness((1, 1, 0), (1, 2, 0), (2, 3, 1)))
+        assert kind == "duplicate-tid"
+
+    def test_phantom_commit(self):
+        kind = self.violation(
+            witness((1, 1, 0), (2, 2, 0), (3, 3, 1), (4, 99, 0)))
+        assert kind == "phantom-commit"
+
+    def test_duplicate_commit(self):
+        kind = self.violation(
+            witness((1, 1, 0), (2, 2, 0), (3, 3, 1), (4, 1, 0)))
+        assert kind == "duplicate-commit"
+
+    def test_wrong_proc(self):
+        kind = self.violation(witness((1, 1, 1), (2, 2, 0), (3, 3, 1)))
+        assert kind == "wrong-proc"
+
+    def test_missing_commit(self):
+        kind = self.violation(witness((1, 1, 0), (2, 2, 0)))
+        assert kind == "missing-commit"
+
+    def test_program_order(self):
+        # tx 2 (P0 index 1) commits with a TID below tx 1 (P0 index 0).
+        kind = self.violation(witness((1, 2, 0), (2, 1, 0), (3, 3, 1)))
+        assert kind == "program-order"
+
+    def test_epoch_order(self):
+        program = program_from_schedules([
+            [Transaction(1, [("c", 1)]), BARRIER, Transaction(2, [("c", 1)])],
+            [Transaction(3, [("c", 1)]), BARRIER],
+        ])
+        # Epoch-1 tx 2 gets a TID below epoch-0 tx 3: impossible, the
+        # barrier drains every epoch-0 transaction first.
+        with pytest.raises(OracleViolation) as exc_info:
+            self.tm.check_witness(
+                program, witness((1, 1, 0), (2, 2, 0), (3, 3, 1)))
+        assert exc_info.value.kind == "epoch-order"
+
+
+class TestExecution:
+    def test_serial_tid_order_semantics(self):
+        tm = ReferenceTM()
+        result = tm.execute(simple_program(),
+                            witness((1, 1, 0), (2, 3, 1), (3, 2, 0)))
+        by_tx = result.commit_by_tx()
+        assert by_tx[1].writes == [(0, 0, 5)]
+        assert by_tx[3].reads == [(0, 0, 5)]       # add observed the store
+        assert by_tx[3].writes == [(0, 0, 7)]
+        assert by_tx[2].reads == [(0, 0, 7)]       # ld observed the add
+        assert result.memory == {(0, 0): 7}
+
+    def test_order_changes_witnesses(self):
+        # Same program, P1's add first: the ld must observe a different
+        # value — the oracle is order-sensitive, not just op-sensitive.
+        tm = ReferenceTM()
+        result = tm.execute(simple_program(),
+                            witness((1, 3, 1), (2, 1, 0), (3, 2, 0)))
+        by_tx = result.commit_by_tx()
+        assert by_tx[3].reads == [(0, 0, 0)]
+        assert by_tx[2].reads == [(0, 0, 5)]
+        assert result.memory == {(0, 0): 5}
+
+    def test_unwritten_words_absent_from_memory(self):
+        tm = ReferenceTM()
+        program = program_from_schedules([[Transaction(1, [("ld", 64)])]])
+        result = tm.execute(program, witness((1, 1, 0)))
+        assert result.commits[0].reads == [(2, 0, 0)]
+        assert result.memory == {}
+
+    def test_compute_ops_ignored(self):
+        tm = ReferenceTM()
+        program = program_from_schedules(
+            [[Transaction(1, [("c", 9), ("st", 0, 1), ("c", 2)])]])
+        result = tm.execute(program, witness((1, 1, 0)))
+        assert result.commits[0].reads == []
+        assert result.commits[0].writes == [(0, 0, 1)]
+
+    def test_unknown_op_rejected(self):
+        # Transaction validates ops at construction, so a corrupt op can
+        # only reach the oracle through a hand-built record.
+        from repro.oracle import OracleTx
+
+        tm = ReferenceTM()
+        program = [OracleTx(tx_id=1, proc=0, index=0, epoch=0,
+                            ops=(("jmp", 0),))]
+        with pytest.raises(OracleViolation) as exc_info:
+            tm.execute(program, witness((1, 1, 0)))
+        assert exc_info.value.kind == "bad-op"
+
+    def test_empty_program_empty_witness(self):
+        tm = ReferenceTM()
+        result = tm.execute([], [])
+        assert result.commits == [] and result.memory == {}
